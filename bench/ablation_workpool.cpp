@@ -1,0 +1,80 @@
+// Ablation A (paper Section 4.3): the order-preserving workpool.
+//
+// YewPar's schedulers "seek to preserve search order heuristics, e.g. by
+// using a bespoke order-preserving workpool". This ablation runs the
+// Depth-Bounded skeleton on branch-and-bound MaxClique with three pool
+// policies:
+//   * DepthPool   - FIFO within depth, shallowest first (YewPar's choice)
+//   * Deque-LIFO  - standard work-stealing deque order (breaks heuristics)
+//   * Deque-FIFO  - plain global FIFO
+// Breaking the heuristic order delays strong incumbents, which shows up as
+// more nodes searched (less pruning) rather than as a correctness issue.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::bench;
+
+int main() {
+  std::printf("== Ablation A: order-preserving workpool vs deques ==\n\n");
+
+  TablePrinter table({"Instance", "Pool", "Time(s)", "Nodes", "Prunes",
+                      "CliqueSize"});
+
+  struct Policy {
+    rt::PoolPolicy pool;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {rt::PoolPolicy::Depth, "DepthPool"},
+      {rt::PoolPolicy::DequeLifo, "Deque-LIFO"},
+      {rt::PoolPolicy::DequeFifo, "Deque-FIFO"},
+  };
+
+  struct Inst {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Inst> instances;
+  {
+    Graph a = gnp(190, 0.72, 51);
+    a.sortByDegreeDesc();
+    instances.push_back({"brock-like", std::move(a)});
+    Graph b = plantedClique(200, 0.68, 26, 52);
+    b.sortByDegreeDesc();
+    instances.push_back({"san-like", std::move(b)});
+  }
+
+  for (auto& inst : instances) {
+    for (const auto& pol : policies) {
+      Params p;
+      p.workersPerLocality = 2;
+      p.dcutoff = 2;
+      p.pool = pol.pool;
+      std::int64_t size = 0;
+      rt::MetricsSnapshot m;
+      const double t = timeMedian(3, [&] {
+        auto out = skeletons::DepthBounded<
+            mc::Gen, Optimisation,
+            BoundFunction<&mc::upperBound>, PruneLevel>::search(p, inst.g,
+                                                    mc::rootNode(inst.g));
+        size = out.objective;
+        m = out.metrics;
+      });
+      table.addRow({inst.name, pol.name, TablePrinter::cell(t, 3),
+                    std::to_string(m.nodesProcessed),
+                    std::to_string(m.prunes), std::to_string(size)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\nexpectation: on diffuse instances (brock-like) DepthPool "
+              "searches fewer nodes than the heuristic-breaking LIFO deque; "
+              "on planted instances LIFO diving can get lucky (a classic "
+              "search anomaly, Section 2.1). The answer is identical for "
+              "every policy.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 4 reproduction: k-clique scaling over localities for the three
+// parallel skeletons.
+//
+// Paper: k-clique decision ("spread in H(4,4)", ~1h sequential) on 1..17
+// localities x 15 workers; all three skeletons scale, with speedups up to
+// 195x on 255 workers.
+//
+// This repo: a seeded hard planted-clique decision instance, swept over
+// 1, 2 and 4 simulated localities. On a single-core host, wall-clock
+// speedup cannot materialise; alongside runtime we therefore report the
+// coordination evidence (tasks, steals, nodes) showing the distributed
+// machinery engaging - see EXPERIMENTS.md for the shape comparison.
+
+#include <cstdio>
+#include <iostream>
+#include <thread>
+
+#include "common.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::bench;
+
+int main() {
+  // Decision instance: does a 17-clique exist? (planted 16-clique makes the
+  // answer "no", which forces full exploration like the H(4,4) instance's
+  // unsatisfiable side.)
+  Graph g = gnp(130, 0.88, 5);
+  g.sortByDegreeDesc();
+  const std::int64_t k = 30;  // max clique is 29: forces the full UNSAT proof
+
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+
+  std::printf("== Figure 4: k-clique scaling across localities ==\n");
+  std::printf("instance: G(130,0.88) seed 5 (omega=29), decision k=%lld (UNSAT)\n",
+              static_cast<long long>(k));
+  std::printf("host concurrency: %u\n\n", hw);
+
+  TablePrinter table({"Skeleton", "Localities", "Workers", "Time(s)",
+                      "Speedup", "Nodes", "Tasks", "RemoteSteals"});
+
+  struct Config {
+    Skel skel;
+    const char* label;
+  };
+  const Config configs[] = {
+      {Skel::DepthBounded, "Depth-Bounded (d=2)"},
+      {Skel::StackStealing, "Stack-Stealing (chunked)"},
+      {Skel::Budget, "Budget (b=1e5)"},
+  };
+
+  for (const auto& cfg : configs) {
+    double base = 0;
+    for (int nloc : {1, 2, 4}) {
+      Params p;
+      p.nLocalities = nloc;
+      p.workersPerLocality = 2;
+      p.dcutoff = 2;
+      p.chunked = true;
+      p.backtrackBudget = 100000;
+      p.decisionTarget = k;
+
+      rt::MetricsSnapshot metrics;
+      bool decided = true;
+      const double t = timeMedian(1, [&] {
+        auto out =
+            runSkel<mc::Gen, Decision, BoundFunction<&mc::upperBound>, PruneLevel>(
+                cfg.skel, p, g, mc::rootNode(g));
+        metrics = out.metrics;
+        decided = out.decided;
+      });
+      if (decided) {
+        std::printf("!! expected UNSAT decision\n");
+        return 1;
+      }
+      if (nloc == 1) base = t;
+      table.addRow({cfg.label, std::to_string(nloc),
+                    std::to_string(nloc * p.workersPerLocality),
+                    TablePrinter::cell(t, 3),
+                    TablePrinter::cell(base / t, 2),
+                    std::to_string(metrics.nodesProcessed),
+                    std::to_string(metrics.tasksSpawned),
+                    std::to_string(metrics.remoteSteals)});
+    }
+  }
+  table.print(std::cout);
+  std::printf("\npaper reference: all three skeletons speed up to 17 "
+              "localities; Depth-Bounded/Budget track closely, "
+              "Stack-Stealing slightly behind at scale (Fig. 4 right).\n");
+  return 0;
+}

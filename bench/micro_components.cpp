@@ -1,0 +1,103 @@
+// Component micro-benchmarks (google-benchmark): the low-level costs that
+// Section 5.3 attributes the skeleton overheads to - node copies in the
+// Lazy Node Generator, the greedy colour bound, workpool and channel
+// operations, and task serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/maxclique/graph.hpp"
+#include "apps/maxclique/maxclique.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/workpool.hpp"
+#include "util/archive.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+
+namespace {
+
+const Graph& benchGraph() {
+  static Graph g = [] {
+    Graph gg = gnp(128, 0.6, 77);
+    gg.sortByDegreeDesc();
+    return gg;
+  }();
+  return g;
+}
+
+void BM_GreedyColour(benchmark::State& state) {
+  const auto& g = benchGraph();
+  DynBitset p(g.size());
+  p.setAll();
+  std::vector<std::int32_t> vertex, colour;
+  for (auto _ : state) {
+    mc::greedyColour(g, p, vertex, colour);
+    benchmark::DoNotOptimize(colour.data());
+  }
+}
+BENCHMARK(BM_GreedyColour);
+
+void BM_NodeGeneratorExpand(benchmark::State& state) {
+  // Cost of one generator construction + full child materialisation: the
+  // copy overhead the paper accepts for generality (Section 5.3).
+  const auto& g = benchGraph();
+  auto root = mc::rootNode(g);
+  for (auto _ : state) {
+    mc::Gen gen(g, root);
+    while (gen.hasNext()) {
+      auto child = gen.next();
+      benchmark::DoNotOptimize(child.size);
+    }
+  }
+}
+BENCHMARK(BM_NodeGeneratorExpand);
+
+void BM_NodeSerializeRoundTrip(benchmark::State& state) {
+  const auto& g = benchGraph();
+  auto root = mc::rootNode(g);
+  mc::Gen gen(g, root);
+  auto node = gen.next();
+  for (auto _ : state) {
+    auto bytes = toBytes(node);
+    auto copy = fromBytes<mc::Node>(std::move(bytes));
+    benchmark::DoNotOptimize(copy.size);
+  }
+}
+BENCHMARK(BM_NodeSerializeRoundTrip);
+
+void BM_DepthPoolPushPop(benchmark::State& state) {
+  rt::DepthPool<int> pool;
+  int depth = 0;
+  for (auto _ : state) {
+    pool.push(1, depth % 8);
+    ++depth;
+    benchmark::DoNotOptimize(pool.pop());
+  }
+}
+BENCHMARK(BM_DepthPoolPushPop);
+
+void BM_DequePoolPushPop(benchmark::State& state) {
+  rt::DequePool<int> pool(true);
+  for (auto _ : state) {
+    pool.push(1, 0);
+    benchmark::DoNotOptimize(pool.pop());
+  }
+}
+BENCHMARK(BM_DequePoolPushPop);
+
+void BM_BitsetIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  DynBitset a(n), b(n);
+  for (std::size_t i = 0; i < n; i += 3) a.set(i);
+  for (std::size_t i = 0; i < n; i += 2) b.set(i);
+  for (auto _ : state) {
+    DynBitset c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.count());
+  }
+}
+BENCHMARK(BM_BitsetIntersect)->Arg(128)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

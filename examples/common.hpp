@@ -1,0 +1,86 @@
+#pragma once
+
+// Shared helpers for the example drivers: runtime skeleton selection (the
+// paper's "--skeleton seq|depthbounded|stacksteal|budget" flags) and result
+// printing. The examples deliberately mirror the command lines of the
+// YewPar artifact (Appendix A), e.g.:
+//
+//   maxclique --skeleton depthbounded -d 2 --workers 4 -f graph.clq
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "core/yewpar.hpp"
+#include "util/flags.hpp"
+
+namespace yewpar::examples {
+
+inline Params paramsFromFlags(const Flags& f) {
+  Params p;
+  p.nLocalities = static_cast<int>(f.getInt("localities", 1));
+  p.workersPerLocality = static_cast<int>(f.getInt("workers", 1));
+  p.dcutoff = static_cast<int>(f.getInt("d", 2));
+  p.backtrackBudget =
+      static_cast<std::uint64_t>(f.getInt("b", 10000));
+  p.chunked = f.getBool("chunked");
+  p.decisionTarget = f.getInt("decisionBound", 0);
+  p.networkDelayMicros = f.getDouble("netdelay", 0.0);
+  return p;
+}
+
+// Dispatch on the skeleton name; SearchType/Opts fixed at compile time as in
+// the paper, coordination chosen per run.
+template <typename Gen, typename SearchType, typename... Opts>
+auto searchWith(const std::string& skeleton, const Params& p,
+                const typename Gen::Space& space,
+                const typename Gen::Node& root) {
+  if (skeleton == "seq") {
+    return skeletons::Sequential<Gen, SearchType, Opts...>::search(p, space,
+                                                                   root);
+  }
+  if (skeleton == "depthbounded") {
+    return skeletons::DepthBounded<Gen, SearchType, Opts...>::search(p, space,
+                                                                     root);
+  }
+  if (skeleton == "stacksteal") {
+    return skeletons::StackStealing<Gen, SearchType, Opts...>::search(
+        p, space, root);
+  }
+  if (skeleton == "budget") {
+    return skeletons::Budget<Gen, SearchType, Opts...>::search(p, space,
+                                                               root);
+  }
+  if (skeleton == "ordered") {
+    return skeletons::Ordered<Gen, SearchType, Opts...>::search(p, space,
+                                                                root);
+  }
+  if (skeleton == "randomspawn") {
+    return skeletons::RandomSpawn<Gen, SearchType, Opts...>::search(p, space,
+                                                                    root);
+  }
+  throw std::runtime_error(
+      "unknown skeleton: " + skeleton +
+      " (expected seq|depthbounded|stacksteal|budget|ordered|randomspawn)");
+}
+
+template <typename Out>
+void printMetrics(const Out& out) {
+  std::printf("elapsed:   %.3f s\n", out.elapsedSeconds);
+  std::printf("nodes:     %llu\n",
+              static_cast<unsigned long long>(out.metrics.nodesProcessed));
+  std::printf("tasks:     %llu\n",
+              static_cast<unsigned long long>(out.metrics.tasksSpawned));
+  std::printf("prunes:    %llu\n",
+              static_cast<unsigned long long>(out.metrics.prunes));
+  std::printf("steals:    %llu local / %llu remote / %llu failed\n",
+              static_cast<unsigned long long>(out.metrics.localSteals),
+              static_cast<unsigned long long>(out.metrics.remoteSteals),
+              static_cast<unsigned long long>(out.metrics.failedSteals));
+  std::printf("bounds:    %llu broadcast / %llu applied\n",
+              static_cast<unsigned long long>(out.metrics.boundBroadcasts),
+              static_cast<unsigned long long>(
+                  out.metrics.boundUpdatesApplied));
+}
+
+}  // namespace yewpar::examples

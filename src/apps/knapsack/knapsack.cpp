@@ -1,0 +1,127 @@
+#include "apps/knapsack/knapsack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace yewpar::apps::ks {
+
+void Instance::sortByDensity() {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     // p_a / w_a > p_b / w_b without division.
+                     return profit[a] * weight[b] > profit[b] * weight[a];
+                   });
+  std::vector<std::int64_t> p2(size()), w2(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    p2[i] = profit[order[i]];
+    w2[i] = weight[order[i]];
+  }
+  profit = std::move(p2);
+  weight = std::move(w2);
+}
+
+std::int64_t upperBound(const Instance& inst, const Node& n) {
+  std::int64_t bound = n.profit;
+  std::int64_t remaining = inst.capacity - n.weight;
+  for (std::size_t i = static_cast<std::size_t>(n.lastItem + 1);
+       i < inst.size(); ++i) {
+    if (inst.weight[i] <= remaining) {
+      bound += inst.profit[i];
+      remaining -= inst.weight[i];
+    } else {
+      // Fractional fill: floor() of the relaxation still dominates any
+      // integral completion because the optimum is integral.
+      bound += remaining * inst.profit[i] / inst.weight[i];
+      break;
+    }
+  }
+  return bound;
+}
+
+std::int64_t dpOptimum(const Instance& inst) {
+  std::vector<std::int64_t> best(static_cast<std::size_t>(inst.capacity) + 1,
+                                 0);
+  for (std::size_t i = 0; i < inst.size(); ++i) {
+    const auto w = inst.weight[i];
+    const auto p = inst.profit[i];
+    for (std::int64_t c = inst.capacity; c >= w; --c) {
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - w)] + p);
+    }
+  }
+  return best[static_cast<std::size_t>(inst.capacity)];
+}
+
+Instance randomInstance(std::size_t n, std::int64_t maxWeight,
+                        double capacityRatio, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.profit.resize(n);
+  inst.weight.resize(n);
+  std::int64_t totalWeight = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::int64_t>(
+        1 + rng.below(static_cast<std::uint64_t>(maxWeight)));
+    // Weakly correlated: profit within +-10% of the weight (hard instances).
+    const auto spread = std::max<std::int64_t>(1, maxWeight / 10);
+    const auto delta = static_cast<std::int64_t>(
+                           rng.below(static_cast<std::uint64_t>(2 * spread))) -
+                       spread;
+    inst.weight[i] = w;
+    inst.profit[i] = std::max<std::int64_t>(1, w + delta);
+    totalWeight += w;
+  }
+  inst.capacity = static_cast<std::int64_t>(
+      capacityRatio * static_cast<double>(totalWeight));
+  inst.sortByDensity();
+  return inst;
+}
+
+Instance stronglyCorrelatedInstance(std::size_t n, std::int64_t maxWeight,
+                                    double capacityRatio,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.profit.resize(n);
+  inst.weight.resize(n);
+  std::int64_t totalWeight = 0;
+  const auto bump = std::max<std::int64_t>(1, maxWeight / 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::int64_t>(
+        1 + rng.below(static_cast<std::uint64_t>(maxWeight)));
+    inst.weight[i] = w;
+    inst.profit[i] = w + bump;
+    totalWeight += w;
+  }
+  inst.capacity = static_cast<std::int64_t>(
+      capacityRatio * static_cast<double>(totalWeight));
+  inst.sortByDensity();
+  return inst;
+}
+
+Instance subsetSumInstance(std::size_t n, std::int64_t maxWeight,
+                           double capacityRatio, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.profit.resize(n);
+  inst.weight.resize(n);
+  std::int64_t totalWeight = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w = static_cast<std::int64_t>(
+        1 + rng.below(static_cast<std::uint64_t>(maxWeight)));
+    inst.weight[i] = w;
+    inst.profit[i] = w;
+    totalWeight += w;
+  }
+  inst.capacity = static_cast<std::int64_t>(
+      capacityRatio * static_cast<double>(totalWeight));
+  inst.sortByDensity();
+  return inst;
+}
+
+}  // namespace yewpar::apps::ks

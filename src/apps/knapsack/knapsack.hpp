@@ -1,0 +1,107 @@
+#pragma once
+
+// 0/1 Knapsack branch-and-bound application (paper Section 5.1): items are
+// sorted by profit density; a search tree node is a partial selection, and
+// children add one further (fitting) item each. Pruning uses the Dantzig
+// fractional upper bound.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/archive.hpp"
+
+namespace yewpar::apps::ks {
+
+struct Instance {
+  std::vector<std::int64_t> profit;  // sorted by profit/weight descending
+  std::vector<std::int64_t> weight;
+  std::int64_t capacity = 0;
+
+  std::size_t size() const { return profit.size(); }
+
+  // Sort items by profit density (the standard branching heuristic). Call
+  // once after construction.
+  void sortByDensity();
+
+  void save(OArchive& a) const { a << profit << weight << capacity; }
+  void load(IArchive& a) { a >> profit >> weight >> capacity; }
+};
+
+struct Node {
+  std::vector<std::int32_t> chosen;  // item indices, ascending
+  std::int32_t lastItem = -1;        // highest chosen index (-1 at root)
+  std::int64_t profit = 0;
+  std::int64_t weight = 0;
+
+  std::int64_t getObj() const { return profit; }
+
+  void save(OArchive& a) const { a << chosen << lastItem << profit << weight; }
+  void load(IArchive& a) { a >> chosen >> lastItem >> profit >> weight; }
+};
+
+// Dantzig bound: current profit plus the fractional-greedy profit of items
+// after lastItem within the remaining capacity. Integer arithmetic floors
+// the fraction, which still dominates every integral completion.
+std::int64_t upperBound(const Instance& inst, const Node& n);
+
+struct Gen {
+  using Space = Instance;
+  using Node = ks::Node;
+
+  const Instance* inst;
+  ks::Node parent;
+  std::int32_t next_;
+
+  Gen(const Instance& i, const ks::Node& p)
+      : inst(&i), parent(p), next_(p.lastItem + 1) {
+    advance();
+  }
+
+  bool hasNext() const {
+    return next_ < static_cast<std::int32_t>(inst->size());
+  }
+
+  ks::Node next() {
+    ks::Node child = parent;
+    child.chosen.push_back(next_);
+    child.lastItem = next_;
+    child.profit += inst->profit[static_cast<std::size_t>(next_)];
+    child.weight += inst->weight[static_cast<std::size_t>(next_)];
+    ++next_;
+    advance();
+    return child;
+  }
+
+ private:
+  // Skip items that do not fit in the remaining capacity.
+  void advance() {
+    const auto n = static_cast<std::int32_t>(inst->size());
+    while (next_ < n &&
+           parent.weight + inst->weight[static_cast<std::size_t>(next_)] >
+               inst->capacity) {
+      ++next_;
+    }
+  }
+};
+
+// Exact DP over capacity (O(n * capacity)); reference for tests.
+std::int64_t dpOptimum(const Instance& inst);
+
+// Pisinger-style weakly-correlated random instance, deterministic in seed.
+Instance randomInstance(std::size_t n, std::int64_t maxWeight,
+                        double capacityRatio, std::uint64_t seed);
+
+// Strongly correlated instance (profit = weight + maxWeight/10): the classic
+// hard family for Dantzig-bound branch and bound, used to give the Table 2
+// sweep a knapsack workload with a non-trivial search tree.
+Instance stronglyCorrelatedInstance(std::size_t n, std::int64_t maxWeight,
+                                    double capacityRatio,
+                                    std::uint64_t seed);
+
+// Subset-sum instance (profit == weight): the Dantzig bound is maximally
+// uninformative, producing the large irregular trees the parallel sweep
+// needs.
+Instance subsetSumInstance(std::size_t n, std::int64_t maxWeight,
+                           double capacityRatio, std::uint64_t seed);
+
+}  // namespace yewpar::apps::ks

@@ -1,0 +1,146 @@
+#include "apps/maxclique/graph.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace yewpar::apps {
+
+std::vector<std::size_t> Graph::sortByDegreeDesc() {
+  std::vector<std::size_t> perm(n_);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    return degree(a) > degree(b);
+  });
+  // inv[old] == new
+  std::vector<std::size_t> inv(n_);
+  for (std::size_t i = 0; i < n_; ++i) inv[perm[i]] = i;
+
+  std::vector<DynBitset> newAdj(n_, DynBitset(n_));
+  for (std::size_t newU = 0; newU < n_; ++newU) {
+    adj_[perm[newU]].forEach([&](std::size_t oldV) {
+      newAdj[newU].set(inv[oldV]);
+    });
+  }
+  adj_ = std::move(newAdj);
+  return perm;
+}
+
+Graph parseDimacsText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  Graph g;
+  bool haveHeader = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'c') continue;  // comment
+    if (kind == 'p') {
+      std::string fmt;
+      std::size_t n = 0, m = 0;
+      ls >> fmt >> n >> m;
+      if (!ls || (fmt != "edge" && fmt != "col")) {
+        throw std::runtime_error("DIMACS: bad problem line: " + line);
+      }
+      g = Graph(n);
+      haveHeader = true;
+    } else if (kind == 'e') {
+      if (!haveHeader) {
+        throw std::runtime_error("DIMACS: edge before problem line");
+      }
+      std::size_t u = 0, v = 0;
+      ls >> u >> v;
+      if (!ls || u < 1 || v < 1 || u > g.size() || v > g.size()) {
+        throw std::runtime_error("DIMACS: bad edge line: " + line);
+      }
+      g.addEdge(u - 1, v - 1);
+    }
+  }
+  if (!haveHeader) throw std::runtime_error("DIMACS: missing problem line");
+  return g;
+}
+
+Graph parseDimacs(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return parseDimacsText(ss.str());
+}
+
+Graph gnp(std::size_t n, double p, std::uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph plantedClique(std::size_t n, double p, std::size_t k,
+                    std::uint64_t seed) {
+  Graph g = gnp(n, p, seed);
+  Rng rng(seed ^ 0xC11E5EEDULL);
+  // Pick k distinct vertices and connect them pairwise.
+  std::vector<std::size_t> verts(n);
+  std::iota(verts.begin(), verts.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k && i < n; ++i) {
+    std::size_t j = i + rng.below(n - i);
+    std::swap(verts[i], verts[j]);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      g.addEdge(verts[i], verts[j]);
+    }
+  }
+  return g;
+}
+
+Graph twoDensity(std::size_t n, double pLo, double pHi, std::uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  const std::size_t half = n / 2;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      double p;
+      const bool uDense = u >= half;
+      const bool vDense = v >= half;
+      if (uDense && vDense) {
+        p = pHi;
+      } else if (!uDense && !vDense) {
+        p = pLo;
+      } else {
+        p = 0.5 * (pLo + pHi);
+      }
+      if (rng.uniform() < p) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph fig1Graph() {
+  // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7
+  Graph g(8);
+  g.addEdge(2, 0);  // c-a
+  g.addEdge(2, 1);  // c-b
+  g.addEdge(2, 4);  // c-e
+  g.addEdge(0, 1);  // a-b
+  g.addEdge(5, 0);  // f-a
+  g.addEdge(5, 6);  // f-g
+  g.addEdge(5, 3);  // f-d
+  g.addEdge(0, 6);  // a-g
+  g.addEdge(0, 3);  // a-d
+  g.addEdge(6, 3);  // g-d
+  g.addEdge(6, 1);  // g-b
+  g.addEdge(7, 0);  // h-a
+  g.addEdge(7, 4);  // h-e
+  return g;
+}
+
+}  // namespace yewpar::apps

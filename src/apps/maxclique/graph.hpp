@@ -1,0 +1,94 @@
+#pragma once
+
+// Undirected graphs for the clique and subgraph-isomorphism applications.
+// Adjacency is stored as one DynBitset row per vertex, enabling the
+// word-parallel set operations that bitset clique algorithms rely on
+// (San Segundo et al.; paper Section 4.1).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/archive.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace yewpar::apps {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : n_(n), adj_(n, DynBitset(n)) {}
+
+  std::size_t size() const { return n_; }
+
+  void addEdge(std::size_t u, std::size_t v) {
+    if (u == v) return;
+    adj_[u].set(v);
+    adj_[v].set(u);
+  }
+
+  bool hasEdge(std::size_t u, std::size_t v) const {
+    return adj_[u].test(v);
+  }
+
+  const DynBitset& neighbours(std::size_t v) const { return adj_[v]; }
+
+  std::size_t degree(std::size_t v) const { return adj_[v].count(); }
+
+  std::size_t edgeCount() const {
+    std::size_t twice = 0;
+    for (const auto& row : adj_) twice += row.count();
+    return twice / 2;
+  }
+
+  double density() const {
+    if (n_ < 2) return 0.0;
+    return 2.0 * static_cast<double>(edgeCount()) /
+           (static_cast<double>(n_) * static_cast<double>(n_ - 1));
+  }
+
+  // Relabel vertices so that index 0 has the highest degree (non-increasing
+  // degree order), the standard static vertex order for MCSa-style clique
+  // search. Returns the permutation: perm[newIndex] == oldIndex.
+  std::vector<std::size_t> sortByDegreeDesc();
+
+  void save(OArchive& a) const {
+    a << static_cast<std::uint64_t>(n_) << adj_;
+  }
+  void load(IArchive& a) {
+    std::uint64_t n = 0;
+    a >> n >> adj_;
+    n_ = n;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<DynBitset> adj_;
+};
+
+// ---- instance sources ------------------------------------------------
+
+// Parse a DIMACS .clq/.col file ("p edge N M" header, "e u v" edges,
+// 1-indexed). Throws std::runtime_error on malformed input.
+Graph parseDimacs(const std::string& path);
+Graph parseDimacsText(const std::string& text);
+
+// Erdos-Renyi G(n, p), deterministic in `seed`.
+Graph gnp(std::size_t n, double p, std::uint64_t seed);
+
+// G(n, p) with a planted clique of `k` vertices (san-family style: dense
+// graphs whose maximum clique is hidden by near-cliques).
+Graph plantedClique(std::size_t n, double p, std::size_t k,
+                    std::uint64_t seed);
+
+// Two-density family (p_hat style): vertices are split into a sparse and a
+// dense half; edge probability is pLo, pHi or their mean depending on which
+// halves the endpoints fall in. Produces high degree spread.
+Graph twoDensity(std::size_t n, double pLo, double pHi, std::uint64_t seed);
+
+// The 8-vertex worked example of the paper's Fig. 1 (max clique {a,d,f,g}).
+// Vertex order: a=0, b=1, c=2, d=3, e=4, f=5, g=6, h=7.
+Graph fig1Graph();
+
+}  // namespace yewpar::apps

@@ -1,0 +1,80 @@
+#include "apps/maxclique/maxclique.hpp"
+
+namespace yewpar::apps::mc {
+
+void greedyColour(const Graph& graph, const DynBitset& p,
+                  std::vector<std::int32_t>& vertex,
+                  std::vector<std::int32_t>& colour) {
+  const std::size_t count = p.count();
+  vertex.resize(count);
+  colour.resize(count);
+
+  DynBitset uncoloured = p;
+  std::size_t i = 0;
+  std::int32_t colourClass = 0;
+  while (!uncoloured.empty()) {
+    ++colourClass;
+    // One independent set per colour class: repeatedly take the first
+    // available vertex and exclude its neighbours from this class.
+    DynBitset classCandidates = uncoloured;
+    while (true) {
+      std::size_t v = classCandidates.findFirst();
+      if (v == DynBitset::npos) break;
+      classCandidates.reset(v);
+      classCandidates.andNot(graph.neighbours(v));
+      uncoloured.reset(v);
+      vertex[i] = static_cast<std::int32_t>(v);
+      colour[i] = colourClass;
+      ++i;
+    }
+  }
+}
+
+Node rootNode(const Graph& g) {
+  Node n;
+  n.clique = DynBitset(g.size());
+  n.size = 0;
+  n.candidates = DynBitset(g.size());
+  n.candidates.setAll();
+  // Root bound: number of colours needed for the whole graph.
+  std::vector<std::int32_t> vertex, colour;
+  greedyColour(g, n.candidates, vertex, colour);
+  n.bound = colour.empty() ? 0 : colour.back();
+  return n;
+}
+
+namespace {
+std::int32_t bruteForceExtend(const Graph& g, const DynBitset& candidates,
+                              std::int32_t size) {
+  std::int32_t best = size;
+  DynBitset local = candidates;
+  for (std::size_t v = local.findFirst(); v != DynBitset::npos;
+       v = local.findFirst()) {
+    local.reset(v);
+    // Only candidates after v remain in `local`, so each clique is
+    // enumerated exactly once (in ascending vertex order).
+    DynBitset next = local;
+    next &= g.neighbours(v);
+    best = std::max(best, bruteForceExtend(g, next, size + 1));
+  }
+  return best;
+}
+}  // namespace
+
+std::int32_t bruteForceMaxClique(const Graph& g) {
+  DynBitset all(g.size());
+  all.setAll();
+  return bruteForceExtend(g, all, 0);
+}
+
+bool isClique(const Graph& g, const DynBitset& clique) {
+  auto verts = clique.toVector();
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (std::size_t j = i + 1; j < verts.size(); ++j) {
+      if (!g.hasEdge(verts[i], verts[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace yewpar::apps::mc

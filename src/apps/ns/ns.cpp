@@ -1,0 +1,79 @@
+#include "apps/ns/ns.hpp"
+
+#include <array>
+
+namespace yewpar::apps::ns {
+
+Space makeSpace(std::int32_t maxGenus) {
+  Space s;
+  s.maxGenus = maxGenus;
+  s.limit = 3 * maxGenus + 3;
+  return s;
+}
+
+Node rootNode(const Space& s) {
+  Node root;
+  root.members = DynBitset(static_cast<std::size_t>(s.limit));
+  root.members.setAll();
+  root.frobenius = -1;
+  root.genus = 0;
+  return root;
+}
+
+bool isMinimalGenerator(const Node& n, std::int32_t g) {
+  if (g <= 0 || !n.members.test(static_cast<std::size_t>(g))) return false;
+  for (std::int32_t a = 1; a * 2 <= g; ++a) {
+    if (n.members.test(static_cast<std::size_t>(a)) &&
+        n.members.test(static_cast<std::size_t>(g - a))) {
+      return false;  // g = a + (g-a) is a sum of two non-zero members
+    }
+  }
+  return true;
+}
+
+Gen::Gen(const ns::Space& s, const ns::Node& p)
+    : space(&s), parent(p), nextGen(-1) {
+  if (parent.genus >= space->maxGenus) return;  // depth cut: leaf
+  cursor_ = parent.frobenius + 1;
+  if (cursor_ < 1) cursor_ = 1;
+  advance();
+}
+
+void Gen::advance() {
+  nextGen = -1;
+  while (cursor_ < space->limit) {
+    if (isMinimalGenerator(parent, cursor_)) {
+      nextGen = cursor_;
+      ++cursor_;
+      return;
+    }
+    ++cursor_;
+  }
+}
+
+ns::Node Gen::next() {
+  ns::Node child = parent;
+  child.members.reset(static_cast<std::size_t>(nextGen));
+  // Removing a generator above the old Frobenius number makes it the new
+  // largest gap.
+  child.frobenius = nextGen;
+  child.genus = parent.genus + 1;
+  advance();
+  return child;
+}
+
+std::uint64_t knownGenusCount(std::int32_t genus) {
+  // OEIS A007323: number of numerical semigroups of genus n.
+  static constexpr std::array<std::uint64_t, 31> counts = {
+      1,       1,       2,       4,       7,        12,       23,
+      39,      67,      118,     204,     343,      592,      1001,
+      1693,    2857,    4806,    8045,    13467,    22464,    37396,
+      62194,   103246,  170963,  282828,  467224,   770832,   1270267,
+      2091030, 3437839, 5646773};
+  if (genus < 0 || genus >= static_cast<std::int32_t>(counts.size())) {
+    return 0;
+  }
+  return counts[static_cast<std::size_t>(genus)];
+}
+
+}  // namespace yewpar::apps::ns

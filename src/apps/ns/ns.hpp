@@ -1,0 +1,73 @@
+#pragma once
+
+// Numerical Semigroups (NS) enumeration application (paper Section 5.1;
+// Fromentin & Hivert). A numerical semigroup is a cofinite subset of the
+// naturals containing 0 and closed under addition; its genus is the number
+// of gaps. The semigroup tree has the full semigroup N at its root, and the
+// children of S are S \ {g} for each minimal generator g of S greater than
+// the Frobenius number of S; a node at depth d is a semigroup of genus d.
+// Counting nodes at depth g counts semigroups of genus g.
+//
+// Representation: membership bitset up to `limit` = 3 * maxGenus + 3, which
+// is enough because every minimal generator of a genus-g semigroup is at
+// most f + m <= (2g - 1) + (g + 1) = 3g.
+
+#include <cstdint>
+
+#include "util/archive.hpp"
+#include "util/bitset.hpp"
+
+namespace yewpar::apps::ns {
+
+struct Space {
+  std::int32_t maxGenus = 10;  // tree explored to this depth
+  std::int32_t limit = 0;      // bitset length; set by makeSpace
+
+  void save(OArchive& a) const { a << maxGenus << limit; }
+  void load(IArchive& a) { a >> maxGenus >> limit; }
+};
+
+Space makeSpace(std::int32_t maxGenus);
+
+struct Node {
+  DynBitset members;          // membership of 0..limit-1
+  std::int32_t frobenius = -1;  // largest gap (-1 for N itself)
+  std::int32_t genus = 0;
+
+  std::int64_t getObj() const { return genus; }
+  std::int32_t depth() const { return genus; }
+
+  void save(OArchive& a) const { a << members << frobenius << genus; }
+  void load(IArchive& a) { a >> members >> frobenius >> genus; }
+};
+
+// Root: the full semigroup N (genus 0).
+Node rootNode(const Space& s);
+
+// g is a minimal generator of the semigroup iff g is a member and is not the
+// sum of two non-zero members.
+bool isMinimalGenerator(const Node& n, std::int32_t g);
+
+struct Gen {
+  using Space = ns::Space;
+  using Node = ns::Node;
+
+  const ns::Space* space;
+  ns::Node parent;
+  std::int32_t nextGen;  // candidate generator being scanned
+
+  Gen(const ns::Space& s, const ns::Node& p);
+
+  bool hasNext() const { return nextGen != -1; }
+  ns::Node next();
+
+ private:
+  void advance();
+  std::int32_t cursor_ = 0;
+};
+
+// Reference counts: number of numerical semigroups of each genus
+// (OEIS A007323): 1, 1, 2, 4, 7, 12, 23, 39, 67, 118, 204, 343, 592, ...
+std::uint64_t knownGenusCount(std::int32_t genus);
+
+}  // namespace yewpar::apps::ns

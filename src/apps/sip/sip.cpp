@@ -1,0 +1,135 @@
+#include "apps/sip/sip.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace yewpar::apps::sip {
+
+void Instance::finalize() {
+  order.resize(pattern.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return pattern.degree(static_cast<std::size_t>(a)) >
+                            pattern.degree(static_cast<std::size_t>(b));
+                   });
+  targetOrder.resize(target.size());
+  std::iota(targetOrder.begin(), targetOrder.end(), 0);
+  std::stable_sort(targetOrder.begin(), targetOrder.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return target.degree(static_cast<std::size_t>(a)) >
+                            target.degree(static_cast<std::size_t>(b));
+                   });
+}
+
+Node rootNode(const Instance& inst) {
+  Node n;
+  n.used = DynBitset(inst.target.size());
+  return n;
+}
+
+Gen::Gen(const Instance& i, const sip::Node& p) : inst(&i), parent(p) {
+  const auto depth = parent.mapping.size();
+  if (depth >= inst->pattern.size()) return;  // complete mapping: leaf
+
+  const auto pv =
+      static_cast<std::size_t>(inst->order[depth]);  // next pattern vertex
+  const auto pDeg = inst->pattern.degree(pv);
+
+  for (auto tvi : inst->targetOrder) {
+    const auto tv = static_cast<std::size_t>(tvi);
+    if (parent.used.test(tv)) continue;
+    if (inst->target.degree(tv) < pDeg) continue;  // degree filter
+    // Adjacency consistency with all previously assigned pattern vertices:
+    // every pattern edge must map onto a target edge (non-induced).
+    bool ok = true;
+    for (std::size_t j = 0; j < depth; ++j) {
+      const auto pj = static_cast<std::size_t>(inst->order[j]);
+      if (inst->pattern.hasEdge(pv, pj) &&
+          !inst->target.hasEdge(
+              tv, static_cast<std::size_t>(parent.mapping[j]))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) candidates.push_back(tvi);
+  }
+}
+
+sip::Node Gen::next() {
+  const auto tv = candidates[idx++];
+  sip::Node child = parent;
+  child.mapping.push_back(tv);
+  child.used.set(static_cast<std::size_t>(tv));
+  return child;
+}
+
+namespace {
+bool extend(const Instance& inst, std::vector<std::int32_t>& mapping,
+            DynBitset& used) {
+  const auto depth = mapping.size();
+  if (depth == inst.pattern.size()) return true;
+  const auto pv = static_cast<std::size_t>(inst.order[depth]);
+  for (std::size_t tv = 0; tv < inst.target.size(); ++tv) {
+    if (used.test(tv)) continue;
+    bool ok = true;
+    for (std::size_t j = 0; j < depth && ok; ++j) {
+      const auto pj = static_cast<std::size_t>(inst.order[j]);
+      if (inst.pattern.hasEdge(pv, pj) &&
+          !inst.target.hasEdge(tv,
+                               static_cast<std::size_t>(mapping[j]))) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    mapping.push_back(static_cast<std::int32_t>(tv));
+    used.set(tv);
+    if (extend(inst, mapping, used)) return true;
+    used.reset(tv);
+    mapping.pop_back();
+  }
+  return false;
+}
+}  // namespace
+
+bool bruteForceSip(const Instance& inst) {
+  std::vector<std::int32_t> mapping;
+  DynBitset used(inst.target.size());
+  return extend(inst, mapping, used);
+}
+
+Instance satInstance(std::size_t nTarget, double p, std::size_t kPattern,
+                     std::uint64_t seed) {
+  Instance inst;
+  inst.target = gnp(nTarget, p, seed);
+  Rng rng(seed ^ 0x51D1CEEDULL);
+  // Choose k distinct target vertices.
+  std::vector<std::size_t> verts(nTarget);
+  std::iota(verts.begin(), verts.end(), std::size_t{0});
+  for (std::size_t i = 0; i < kPattern; ++i) {
+    std::size_t j = i + rng.below(nTarget - i);
+    std::swap(verts[i], verts[j]);
+  }
+  inst.pattern = Graph(kPattern);
+  for (std::size_t i = 0; i < kPattern; ++i) {
+    for (std::size_t j = i + 1; j < kPattern; ++j) {
+      if (inst.target.hasEdge(verts[i], verts[j])) {
+        inst.pattern.addEdge(i, j);
+      }
+    }
+  }
+  inst.finalize();
+  return inst;
+}
+
+Instance randomInstance(std::size_t nPattern, double pPattern,
+                        std::size_t nTarget, double pTarget,
+                        std::uint64_t seed) {
+  Instance inst;
+  inst.pattern = gnp(nPattern, pPattern, seed ^ 0xAAULL);
+  inst.target = gnp(nTarget, pTarget, seed ^ 0xBBULL);
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace yewpar::apps::sip

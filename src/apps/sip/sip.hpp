@@ -1,0 +1,78 @@
+#pragma once
+
+// Subgraph Isomorphism Problem (SIP) decision application (paper Section
+// 5.1): does the target graph contain a (non-induced) copy of the pattern
+// graph? Nodes are partial mappings of pattern vertices (in a static
+// degree-descending variable order) to target vertices; the Lazy Node
+// Generator emits only adjacency-consistent, degree-feasible assignments,
+// so pruning happens during child generation, as in McCreesh-Prosser style
+// solvers. The decision objective is the number of mapped vertices with
+// target |pattern|.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/maxclique/graph.hpp"
+#include "util/archive.hpp"
+
+namespace yewpar::apps::sip {
+
+struct Instance {
+  Graph pattern;
+  Graph target;
+  // Pattern vertices in branching order (degree descending).
+  std::vector<std::int32_t> order;
+  // Target vertices in candidate order (degree descending).
+  std::vector<std::int32_t> targetOrder;
+
+  void finalize();  // compute orders; call once after graphs are set
+
+  void save(OArchive& a) const { a << pattern << target << order << targetOrder; }
+  void load(IArchive& a) { a >> pattern >> target >> order >> targetOrder; }
+};
+
+struct Node {
+  // mapping[i]: target vertex assigned to pattern vertex order[i], for
+  // i < depth; the vector's length equals the depth.
+  std::vector<std::int32_t> mapping;
+  DynBitset used;  // target vertices already used
+
+  std::int64_t getObj() const {
+    return static_cast<std::int64_t>(mapping.size());
+  }
+
+  void save(OArchive& a) const { a << mapping << used; }
+  void load(IArchive& a) { a >> mapping >> used; }
+};
+
+Node rootNode(const Instance& inst);
+
+struct Gen {
+  using Space = Instance;
+  using Node = sip::Node;
+
+  const Instance* inst;
+  sip::Node parent;
+  std::vector<std::int32_t> candidates;
+  std::size_t idx = 0;
+
+  Gen(const Instance& i, const sip::Node& p);
+
+  bool hasNext() const { return idx < candidates.size(); }
+  sip::Node next();
+};
+
+// Exhaustive check (small instances) used as the test oracle.
+bool bruteForceSip(const Instance& inst);
+
+// A guaranteed-satisfiable instance: `target` = G(n, p); `pattern` = the
+// subgraph induced by k random target vertices (relabelled).
+Instance satInstance(std::size_t nTarget, double p, std::size_t kPattern,
+                     std::uint64_t seed);
+
+// Independent random pattern and target (may or may not be satisfiable).
+Instance randomInstance(std::size_t nPattern, double pPattern,
+                        std::size_t nTarget, double pTarget,
+                        std::uint64_t seed);
+
+}  // namespace yewpar::apps::sip

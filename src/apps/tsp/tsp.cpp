@@ -1,0 +1,133 @@
+#include "apps/tsp/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace yewpar::apps::tsp {
+
+void Instance::finalize() {
+  minOut.assign(static_cast<std::size_t>(n), 0);
+  for (std::int32_t a = 0; a < n; ++a) {
+    std::int32_t best = std::numeric_limits<std::int32_t>::max();
+    for (std::int32_t b = 0; b < n; ++b) {
+      if (a != b) best = std::min(best, d(a, b));
+    }
+    minOut[static_cast<std::size_t>(a)] = n > 1 ? best : 0;
+  }
+}
+
+Node rootNode(const Instance& inst) {
+  Node root;
+  root.path = {0};
+  root.visited = DynBitset(static_cast<std::size_t>(inst.n));
+  root.visited.set(0);
+  root.cost = 0;
+  root.completeTour = inst.n == 1;
+  return root;
+}
+
+std::int64_t upperBound(const Instance& inst, const Node& n) {
+  if (n.completeTour) return -n.cost;
+  std::int64_t lb = n.cost;
+  // One outgoing edge from the current city plus one from every unrouted
+  // city is a lower bound on the remaining path-and-return.
+  lb += inst.minOut[static_cast<std::size_t>(n.path.back())];
+  for (std::int32_t c = 0; c < inst.n; ++c) {
+    if (!n.visited.test(static_cast<std::size_t>(c))) {
+      lb += inst.minOut[static_cast<std::size_t>(c)];
+    }
+  }
+  return -lb;
+}
+
+Gen::Gen(const Instance& i, const tsp::Node& p) : inst(&i), parent(p) {
+  if (parent.completeTour) return;
+  const auto cur = parent.path.back();
+  for (std::int32_t c = 0; c < inst->n; ++c) {
+    if (!parent.visited.test(static_cast<std::size_t>(c))) {
+      order.push_back(c);
+    }
+  }
+  // Nearest-city-first search order heuristic.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return inst->d(cur, a) < inst->d(cur, b);
+                   });
+}
+
+tsp::Node Gen::next() {
+  const auto city = order[idx++];
+  tsp::Node child = parent;
+  child.cost += inst->d(parent.path.back(), city);
+  child.path.push_back(city);
+  child.visited.set(static_cast<std::size_t>(city));
+  if (static_cast<std::int32_t>(child.path.size()) == inst->n) {
+    child.cost += inst->d(city, 0);  // close the tour
+    child.completeTour = true;
+  }
+  return child;
+}
+
+std::int64_t heldKarp(const Instance& inst) {
+  const auto n = static_cast<std::size_t>(inst.n);
+  if (n == 1) return 0;
+  const std::size_t full = std::size_t{1} << (n - 1);  // sets over 1..n-1
+  constexpr std::int64_t inf = std::numeric_limits<std::int64_t>::max() / 4;
+  // dp[S][j]: min cost of a path 0 -> ... -> j+1 visiting exactly S.
+  std::vector<std::vector<std::int64_t>> dp(
+      full, std::vector<std::int64_t>(n - 1, inf));
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    dp[std::size_t{1} << j][j] =
+        inst.d(0, static_cast<std::int32_t>(j + 1));
+  }
+  for (std::size_t S = 1; S < full; ++S) {
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      if (!(S >> j & 1) || dp[S][j] >= inf) continue;
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        if (S >> k & 1) continue;
+        const auto S2 = S | (std::size_t{1} << k);
+        const auto cand =
+            dp[S][j] + inst.d(static_cast<std::int32_t>(j + 1),
+                              static_cast<std::int32_t>(k + 1));
+        dp[S2][k] = std::min(dp[S2][k], cand);
+      }
+    }
+  }
+  std::int64_t best = inf;
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    best = std::min(best, dp[full - 1][j] +
+                              inst.d(static_cast<std::int32_t>(j + 1), 0));
+  }
+  return best;
+}
+
+Instance randomEuclidean(std::int32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform() * 1000.0;
+    y[static_cast<std::size_t>(i)] = rng.uniform() * 1000.0;
+  }
+  Instance inst;
+  inst.n = n;
+  inst.dist.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (std::int32_t a = 0; a < n; ++a) {
+    for (std::int32_t b = 0; b < n; ++b) {
+      const double dx = x[static_cast<std::size_t>(a)] -
+                        x[static_cast<std::size_t>(b)];
+      const double dy = y[static_cast<std::size_t>(a)] -
+                        y[static_cast<std::size_t>(b)];
+      inst.dist[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(b)] =
+          static_cast<std::int32_t>(std::lround(std::sqrt(dx * dx + dy * dy)));
+    }
+  }
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace yewpar::apps::tsp

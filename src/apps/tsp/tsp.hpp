@@ -1,0 +1,82 @@
+#pragma once
+
+// Travelling Salesperson branch-and-bound application (paper Section 5.1).
+// Minimisation is mapped onto the skeletons' maximising objective by
+// negating tour costs: complete tours score -(cost); partial tours score an
+// impossible low value so they never become incumbents. The bound function
+// is the negated admissible lower bound (minimum outgoing edge per
+// unrouted city), so pruning fires exactly when lowerBound >= bestTourCost.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/archive.hpp"
+#include "util/bitset.hpp"
+
+namespace yewpar::apps::tsp {
+
+// A node's objective while the tour is incomplete: strictly worse than any
+// complete tour but above the registry's kObjMin sentinel.
+inline constexpr std::int64_t kPartialObj = -(1LL << 60);
+
+struct Instance {
+  std::int32_t n = 0;
+  std::vector<std::int32_t> dist;  // row-major n*n, symmetric
+  std::vector<std::int32_t> minOut;  // per-city minimum outgoing edge
+
+  std::int32_t d(std::int32_t a, std::int32_t b) const {
+    return dist[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(b)];
+  }
+
+  // Fill `minOut`; call once after `dist` is final.
+  void finalize();
+
+  void save(OArchive& a) const { a << n << dist << minOut; }
+  void load(IArchive& a) { a >> n >> dist >> minOut; }
+};
+
+struct Node {
+  std::vector<std::int32_t> path;  // starts at city 0
+  DynBitset visited;
+  std::int64_t cost = 0;  // edges along path (+ closing edge when complete)
+  bool completeTour = false;
+
+  std::int64_t getObj() const { return completeTour ? -cost : kPartialObj; }
+
+  void save(OArchive& a) const {
+    a << path << visited << cost << completeTour;
+  }
+  void load(IArchive& a) { a >> path >> visited >> cost >> completeTour; }
+};
+
+Node rootNode(const Instance& inst);
+
+// Admissible bound on the best objective in the subtree: negated lower bound
+// on any completed tour below n (cost so far + one outgoing edge per
+// unrouted city + one from the current city).
+std::int64_t upperBound(const Instance& inst, const Node& n);
+
+struct Gen {
+  using Space = Instance;
+  using Node = tsp::Node;
+
+  const Instance* inst;
+  tsp::Node parent;
+  std::vector<std::int32_t> order;  // unvisited cities, nearest-first
+  std::size_t idx = 0;
+
+  Gen(const Instance& i, const tsp::Node& p);
+
+  bool hasNext() const { return idx < order.size(); }
+  tsp::Node next();
+};
+
+// Held-Karp exact DP (O(2^n n^2)); reference for tests, n <= ~15.
+std::int64_t heldKarp(const Instance& inst);
+
+// Random Euclidean instance: n points on a 1000x1000 grid, rounded
+// Euclidean distances, deterministic in seed.
+Instance randomEuclidean(std::int32_t n, std::uint64_t seed);
+
+}  // namespace yewpar::apps::tsp

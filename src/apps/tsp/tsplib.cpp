@@ -1,0 +1,88 @@
+#include "apps/tsp/tsplib.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace yewpar::apps::tsp {
+
+Instance parseTsplibText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t dimension = 0;
+  bool euc2d = false;
+  std::vector<double> x, y;
+
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    const auto e = s.find_last_not_of(" \t\r");
+    return b == std::string::npos ? std::string{} : s.substr(b, e - b + 1);
+  };
+
+  bool inCoords = false;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (inCoords) {
+      if (line == "EOF") break;
+      std::istringstream ls(line);
+      std::size_t idx = 0;
+      double cx = 0, cy = 0;
+      if (!(ls >> idx >> cx >> cy)) {
+        throw std::runtime_error("TSPLIB: bad coord line: " + line);
+      }
+      if (idx < 1 || idx > dimension) {
+        throw std::runtime_error("TSPLIB: coord index out of range");
+      }
+      x[idx - 1] = cx;
+      y[idx - 1] = cy;
+      continue;
+    }
+    if (line.rfind("DIMENSION", 0) == 0) {
+      const auto colon = line.find(':');
+      dimension = static_cast<std::size_t>(
+          std::stoul(line.substr(colon == std::string::npos ? 9 : colon + 1)));
+      x.assign(dimension, 0);
+      y.assign(dimension, 0);
+    } else if (line.rfind("EDGE_WEIGHT_TYPE", 0) == 0) {
+      euc2d = line.find("EUC_2D") != std::string::npos;
+    } else if (line.rfind("NODE_COORD_SECTION", 0) == 0) {
+      if (dimension == 0) {
+        throw std::runtime_error("TSPLIB: NODE_COORD_SECTION before DIMENSION");
+      }
+      if (!euc2d) {
+        throw std::runtime_error("TSPLIB: only EDGE_WEIGHT_TYPE EUC_2D is "
+                                 "supported");
+      }
+      inCoords = true;
+    }
+  }
+  if (!inCoords) throw std::runtime_error("TSPLIB: no NODE_COORD_SECTION");
+
+  Instance inst;
+  inst.n = static_cast<std::int32_t>(dimension);
+  inst.dist.resize(dimension * dimension);
+  for (std::size_t a = 0; a < dimension; ++a) {
+    for (std::size_t b = 0; b < dimension; ++b) {
+      const double dx = x[a] - x[b];
+      const double dy = y[a] - y[b];
+      // TSPLIB EUC_2D: Euclidean distance rounded to nearest integer.
+      inst.dist[a * dimension + b] = static_cast<std::int32_t>(
+          std::lround(std::sqrt(dx * dx + dy * dy)));
+    }
+  }
+  inst.finalize();
+  return inst;
+}
+
+Instance parseTsplib(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return parseTsplibText(ss.str());
+}
+
+}  // namespace yewpar::apps::tsp

@@ -1,0 +1,19 @@
+#pragma once
+
+// Minimal TSPLIB reader for the TSP application: supports the symmetric
+// EUC_2D format (NODE_COORD_SECTION with rounded Euclidean distances, the
+// format of berlin52, kroA100, etc.) so the reproduction can also run on
+// real benchmark files when they are available.
+
+#include <string>
+
+#include "apps/tsp/tsp.hpp"
+
+namespace yewpar::apps::tsp {
+
+// Parse a TSPLIB EUC_2D instance from a file / from text. Throws
+// std::runtime_error on unsupported EDGE_WEIGHT_TYPE or malformed input.
+Instance parseTsplib(const std::string& path);
+Instance parseTsplibText(const std::string& text);
+
+}  // namespace yewpar::apps::tsp

@@ -1,0 +1,84 @@
+#pragma once
+
+// Unbalanced Tree Search (UTS) enumeration application (paper Section 5.1;
+// Olivier et al.). UTS dynamically constructs a synthetic irregular tree:
+// each node's child count is a pure function of the node's random state, and
+// each child's state derives from (parent state, child index). The original
+// uses SHA-1; we substitute a splitmix64 hash chain, which keeps the key
+// reproducibility property (tree shape independent of traversal order and
+// worker count) - see DESIGN.md substitution notes.
+
+#include <cstdint>
+
+#include "util/archive.hpp"
+#include "util/rng.hpp"
+
+namespace yewpar::apps::uts {
+
+enum class Shape : std::int32_t {
+  Geometric = 0,  // branching decays linearly with depth, cut at maxDepth
+  Binomial = 1,   // root: b0 children; below: m children with prob q
+};
+
+struct Params {
+  Shape shape = Shape::Geometric;
+  std::int32_t b0 = 4;        // (expected) root branching factor
+  std::int32_t maxDepth = 6;  // geometric: depth cut-off
+  double q = 0.4;             // binomial: probability a node has children
+  std::int32_t m = 2;         // binomial: children when it has any
+  std::uint64_t seed = 42;
+
+  void save(OArchive& a) const {
+    a << static_cast<std::int32_t>(shape) << b0 << maxDepth << q << m << seed;
+  }
+  void load(IArchive& a) {
+    std::int32_t s = 0;
+    a >> s >> b0 >> maxDepth >> q >> m >> seed;
+    shape = static_cast<Shape>(s);
+  }
+};
+
+struct Node {
+  std::int32_t d = 0;        // depth
+  std::uint64_t state = 0;   // hash-chain random state
+
+  std::int64_t getObj() const { return d; }
+  std::int32_t depth() const { return d; }
+
+  void save(OArchive& a) const { a << d << state; }
+  void load(IArchive& a) { a >> d >> state; }
+};
+
+Node rootNode(const Params& p);
+
+// Number of children of a node: pure function of (params, node).
+std::int32_t childCount(const Params& p, const Node& n);
+
+struct Gen {
+  using Space = Params;
+  using Node = uts::Node;
+
+  const Params* params;
+  uts::Node parent;
+  std::int32_t total;
+  std::int32_t produced = 0;
+
+  Gen(const Params& p, const uts::Node& n)
+      : params(&p), parent(n), total(childCount(p, n)) {}
+
+  bool hasNext() const { return produced < total; }
+
+  uts::Node next() {
+    uts::Node child;
+    child.d = parent.d + 1;
+    child.state = mix64(parent.state,
+                        static_cast<std::uint64_t>(produced) + 1);
+    ++produced;
+    return child;
+  }
+};
+
+// Sequential recursive count (oracle for the tests).
+std::uint64_t countTree(const Params& p);
+
+}  // namespace yewpar::apps::uts

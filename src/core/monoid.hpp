@@ -1,0 +1,70 @@
+#pragma once
+
+// Commutative monoids for enumeration searches (paper Section 3.2):
+// a search is a fold of the tree into a monoid via an objective function.
+// Instances here cover the paper's examples (node counting, counting at a
+// given depth) plus a per-depth histogram used by UTS and NS.
+
+#include <cstdint>
+#include <vector>
+
+namespace yewpar {
+
+// Monoid concept: Value, zero(), plus(). `plus` must be commutative and
+// associative with zero() as identity (property-tested in tests/).
+template <typename M>
+concept Monoid = requires(typename M::Value a, typename M::Value b) {
+  { M::zero() } -> std::same_as<typename M::Value>;
+  { M::plus(a, b) } -> std::same_as<typename M::Value>;
+};
+
+// Natural numbers with addition: counts search tree nodes.
+struct CountMonoid {
+  using Value = std::uint64_t;
+  static Value zero() { return 0; }
+  static Value plus(Value a, Value b) { return a + b; }
+};
+
+// Natural numbers with max: e.g. tree depth as an optimisation-like fold.
+struct MaxMonoid {
+  using Value = std::int64_t;
+  static Value zero() { return 0; }
+  static Value plus(Value a, Value b) { return a > b ? a : b; }
+};
+
+// Per-depth node counts; vectors of different lengths are aligned by
+// zero-extension. Used to count "nodes at depth d" for all d in one search.
+struct DepthHistogramMonoid {
+  using Value = std::vector<std::uint64_t>;
+  static Value zero() { return {}; }
+  static Value plus(Value a, const Value& b) {
+    if (a.size() < b.size()) a.resize(b.size(), 0);
+    for (std::size_t i = 0; i < b.size(); ++i) a[i] += b[i];
+    return a;
+  }
+};
+
+// Objective functions mapping nodes into a monoid.
+
+// Every node contributes 1: plain node counting.
+struct CountAll {
+  using M = CountMonoid;
+  template <typename Space, typename Node>
+  static typename M::Value eval(const Space&, const Node&) {
+    return 1;
+  }
+};
+
+// Nodes contribute into the bucket of their depth. Requires the node to
+// expose `depth()`.
+struct CountByDepth {
+  using M = DepthHistogramMonoid;
+  template <typename Space, typename Node>
+  static typename M::Value eval(const Space&, const Node& n) {
+    typename M::Value v(static_cast<std::size_t>(n.depth()) + 1, 0);
+    v[static_cast<std::size_t>(n.depth())] = 1;
+    return v;
+  }
+};
+
+}  // namespace yewpar

@@ -1,0 +1,49 @@
+#pragma once
+
+// Search results. The paper's skeletons derive their return type from the
+// template parameters (optimisation returns the optimal node, enumeration
+// the accumulated monoid value); we return one Outcome struct carrying the
+// relevant member plus the coordination metrics used by the benchmarks.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "runtime/metrics.hpp"
+#include "core/searchtypes.hpp"
+
+namespace yewpar {
+
+template <typename Node, typename EnumValue>
+struct Outcome {
+  // Optimisation / Decision: best witness node found, and its objective.
+  std::optional<Node> incumbent;
+  std::int64_t objective = std::numeric_limits<std::int64_t>::min();
+
+  // Decision: true iff a node reaching the decision target was found.
+  bool decided = false;
+
+  // Enumeration: the monoid fold over all visited nodes.
+  EnumValue sum{};
+
+  // False only if a Params::maxNodes cap cut the search short.
+  bool complete = true;
+
+  rt::MetricsSnapshot metrics;
+  double elapsedSeconds = 0.0;
+};
+
+namespace detail {
+// Enumeration value type for non-enumeration searches (unused placeholder).
+template <typename SearchType>
+struct EnumValueOf {
+  using type = std::uint64_t;
+};
+
+template <typename ObjFn>
+struct EnumValueOf<Enumeration<ObjFn>> {
+  using type = typename Enumeration<ObjFn>::Value;
+};
+}  // namespace detail
+
+}  // namespace yewpar

@@ -1,0 +1,52 @@
+#pragma once
+
+// Search parameters exposed by the skeleton API (Section 4.3: "The skeleton
+// APIs expose parameters like depth cutoff or backtracking budget that
+// control the parallel search").
+
+#include <cstdint>
+
+#include "runtime/workpool.hpp"
+
+namespace yewpar {
+
+struct Params {
+  // Parallel layout. One locality models one machine of the paper's cluster;
+  // workersPerLocality matches the paper's "--hpx:threads n" minus the
+  // manager thread.
+  int nLocalities = 1;
+  int workersPerLocality = 1;
+
+  // Depth-Bounded: spawn all children of nodes at depth < dcutoff.
+  int dcutoff = 0;
+
+  // Budget: number of backtracks before offloading unexplored subtrees.
+  std::uint64_t backtrackBudget = 0;
+
+  // Stack-Stealing: steal all lowest-depth siblings (true) or one node.
+  bool chunked = false;
+
+  // RandomSpawn: expected one task spawned per this many children generated
+  // (Section 4's "random task creation" extension point). 0 = use default.
+  std::uint64_t randomSpawnOneIn = 0;
+
+  // Decision searches: objective value that counts as "found" (the greatest
+  // element of the bounded order, e.g. k in k-clique).
+  std::int64_t decisionTarget = 0;
+
+  // Workpool policy (DepthPool preserves heuristic order; see ablation A).
+  rt::PoolPolicy pool = rt::PoolPolicy::Depth;
+
+  // Simulated one-way network latency between localities, microseconds.
+  double networkDelayMicros = 0.0;
+
+  // Safety cap on processed nodes per search, 0 = unlimited. When hit, the
+  // search drains without expanding further and the outcome is flagged
+  // incomplete. Used by tests and parameter sweeps, never by default.
+  std::uint64_t maxNodes = 0;
+
+  // Print coordination metrics on completion (benches enable this).
+  bool verbose = false;
+};
+
+}  // namespace yewpar

@@ -1,0 +1,104 @@
+#pragma once
+
+// The three search types (paper Section 3.2) as policy tags, plus the
+// BoundFunction option used to enable branch-and-bound pruning (rule (prune)
+// of Fig. 2). Skeletons are parameterised as
+//
+//   Skeleton<Gen, SearchTypeTag, Options...>
+//
+// exactly mirroring Listing 5 of the paper. The bound function pointer is
+// lifted to template level so it can be inlined into the search loop.
+
+#include <cstdint>
+
+namespace yewpar {
+
+// Optimisation: maximise Node::getObj(); result is a witness node.
+struct Optimisation {
+  static constexpr bool isEnumeration = false;
+  static constexpr bool isDecision = false;
+};
+
+// Decision: find a node with getObj() >= Params::decisionTarget; terminates
+// early via the (shortcircuit) rule once found.
+struct Decision {
+  static constexpr bool isEnumeration = false;
+  static constexpr bool isDecision = true;
+};
+
+// Enumeration: fold every node into ObjFn::M via ObjFn::eval. ObjFn carries
+// its monoid (see core/monoid.hpp).
+template <typename ObjFn>
+struct Enumeration {
+  static constexpr bool isEnumeration = true;
+  static constexpr bool isDecision = false;
+  using Obj = ObjFn;
+  using M = typename ObjFn::M;
+  using Value = typename M::Value;
+};
+
+namespace detail {
+template <typename T>
+concept EnumerationType = T::isEnumeration;
+}  // namespace detail
+
+// Pruning option: Fn(space, node) returns an inclusive upper bound on the
+// objective obtainable anywhere in the subtree rooted at node. A subtree is
+// pruned when its bound cannot *beat* the incumbent (optimisation) or cannot
+// reach the decision target. The admissibility conditions of Section 3.5
+// translate to: Fn must dominate getObj() over the whole subtree.
+template <auto Fn>
+struct BoundFunction {
+  static constexpr bool hasBound = true;
+  static constexpr bool prunesLevel = false;
+
+  template <typename Space, typename Node>
+  static std::int64_t bound(const Space& s, const Node& n) {
+    return Fn(s, n);
+  }
+};
+
+struct NoBound {
+  static constexpr bool hasBound = false;
+  static constexpr bool prunesLevel = false;
+
+  template <typename Space, typename Node>
+  static std::int64_t bound(const Space&, const Node&) {
+    return 0;
+  }
+};
+
+// PruneLevel option (as in YewPar's skeleton API): when a child fails the
+// bound check, discard the *whole generator level* - all unexplored siblings
+// "to-the-right" - instead of just that child (Section 4.1: "it is possible
+// to prune all future children to-the-right once a bounds check establishes
+// that the current node cannot beat the incumbent"). Only sound when the
+// generator emits children in non-increasing bound order, as the greedy
+// colour order of MaxClique does; hence opt-in.
+struct PruneLevel {
+  static constexpr bool hasBound = false;
+  static constexpr bool prunesLevel = true;
+};
+
+namespace detail {
+// Extract the (single, optional) bound option from a skeleton's option pack.
+template <typename... Opts>
+struct ExtractBound {
+  using type = NoBound;
+};
+
+template <typename First, typename... Rest>
+struct ExtractBound<First, Rest...> {
+  using type = std::conditional_t<First::hasBound, First,
+                                  typename ExtractBound<Rest...>::type>;
+};
+}  // namespace detail
+
+template <typename... Opts>
+using BoundOf = typename detail::ExtractBound<Opts...>::type;
+
+// True iff the option pack contains PruneLevel.
+template <typename... Opts>
+inline constexpr bool kPruneLevelOf = (false || ... || Opts::prunesLevel);
+
+}  // namespace yewpar

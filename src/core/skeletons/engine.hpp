@@ -1,0 +1,395 @@
+#pragma once
+
+// Parallel skeleton engine (paper Section 4.3).
+//
+// The engine instantiates, per locality: a manager thread (message handling),
+// a team of worker threads, an order-preserving workpool, a knowledge
+// registry, and a termination detector. The three parallel coordinations
+// (Depth-Bounded, Stack-Stealing, Budget) plug their task-execution policy
+// into the shared worker loop.
+//
+// Distributed-memory discipline: a locality touches another locality's state
+// only through serialized messages (tasks, bounds, steals, termination
+// snapshots) - see DESIGN.md substitution 1.
+
+#include <chrono>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/nodegen.hpp"
+#include "core/outcome.hpp"
+#include "core/params.hpp"
+#include "core/search_ops.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/locality.hpp"
+#include "runtime/network.hpp"
+#include "runtime/termination.hpp"
+#include "runtime/worker_team.hpp"
+#include "runtime/workpool.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace yewpar::detail {
+
+using namespace std::chrono_literals;
+
+// A search task: an unexplored subtree, identified by its root node and the
+// depth of that root in the global tree (the depth keys the DepthPool).
+template <typename Node>
+struct EngineTask {
+  Node node{};
+  std::int32_t depth = 0;
+  // Position in the Sequential skeleton's traversal order; only meaningful
+  // (and only assigned) under the Ordered coordination's priority pool.
+  std::uint64_t seq = 0;
+
+  void save(OArchive& a) const { a << node << depth << seq; }
+  void load(IArchive& a) { a >> node >> depth >> seq; }
+};
+
+// Per-locality engine state.
+template <typename Gen, typename SearchType, typename Bound,
+          bool PruneLvl = false>
+class EngineCtx {
+ public:
+  using Space = typename Gen::Space;
+  using Node = typename Gen::Node;
+  using Ops = SearchOps<Gen, SearchType, Bound>;
+  using Reg = typename Ops::Reg;
+  using Task = EngineTask<Node>;
+  static constexpr bool kPruneLevel = PruneLvl;
+
+  struct WorkerState {
+    int id = 0;
+    Rng rng;
+    std::atomic<bool> busy{false};
+    rt::StealChannel<Task> stealChan;  // this worker as a steal victim
+    typename Ops::WorkerAcc acc;
+  };
+
+  EngineCtx(rt::Network& net, int id, const Params& params,
+            const std::vector<std::uint8_t>& spaceBytes)
+      : params_(params),
+        locality_(net, id),
+        term_(locality_, params.nLocalities),
+        pool_(rt::makeWorkpool<Task>(params.pool)),
+        space_(fromBytes<Space>(spaceBytes)) {
+    reg_.loc = &locality_;
+    reg_.decisionTarget = params.decisionTarget;
+    reg_.maxNodes = params.maxNodes;
+
+    workers_.reserve(static_cast<std::size_t>(params.workersPerLocality));
+    for (int w = 0; w < params.workersPerLocality; ++w) {
+      auto ws = std::make_unique<WorkerState>();
+      ws->id = w;
+      ws->rng = Rng(0x9E3779B9ULL * static_cast<std::uint64_t>(id + 1) +
+                    static_cast<std::uint64_t>(w));
+      workers_.push_back(std::move(ws));
+    }
+
+    registerHandlers();
+  }
+
+  const Params& params() const { return params_; }
+  rt::Locality& locality() { return locality_; }
+  rt::TerminationDetector& term() { return term_; }
+  rt::Workpool<Task>& pool() { return *pool_; }
+  Reg& reg() { return reg_; }
+  const Space& space() const { return space_; }
+  std::vector<std::unique_ptr<WorkerState>>& workers() { return workers_; }
+  int id() const { return locality_.id(); }
+
+  // ---- spawning ------------------------------------------------------
+
+  // Spawn a task into the local workpool (all spawn rules push locally; work
+  // moves between localities only by stealing).
+  void spawn(Task task) {
+    if (reg_.stop.load(std::memory_order_relaxed)) return;
+    reg_.metrics.tasksSpawned.fetch_add(1, std::memory_order_relaxed);
+    term_.taskCreated();
+    int depth = task.depth;
+    pool_->push(std::move(task), depth);
+  }
+
+  // ---- knowledge -----------------------------------------------------
+
+  void broadcastBound(std::int64_t b) {
+    if (params_.nLocalities > 1) {
+      locality_.broadcast(rt::tag::kBoundUpdate, toBytes(b));
+    }
+    reg_.metrics.boundBroadcasts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Raise the global stop flag (decision short-circuit / node cap).
+  void raiseStop() {
+    if (!reg_.stop.exchange(true)) {
+      if (params_.nLocalities > 1) {
+        locality_.broadcast(rt::tag::kStopSearch, {});
+      }
+    }
+  }
+
+  // Prune counting lives with the worker-local counters in the callers.
+  void applyVisit(const VisitResult& res) {
+    if (res.broadcastBound) broadcastBound(*res.broadcastBound);
+    if (res.action == Action::Stop) raiseStop();
+  }
+
+  bool stopped() const { return reg_.stop.load(std::memory_order_relaxed); }
+
+  // ---- stealing ------------------------------------------------------
+
+  int randomPeer(Rng& rng) {
+    // Uniform over other localities.
+    int n = params_.nLocalities;
+    int r = static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    return r >= id() ? r + 1 : r;
+  }
+
+  // Ask a random remote locality's workpool for a task (Depth-Bounded /
+  // Budget idle path). At most one request in flight per locality; a stuck
+  // request expires after kStealTimeout.
+  void requestRemotePoolSteal(Rng& rng) {
+    if (params_.nLocalities < 2) return;
+    if (!tryAcquireStealSlot()) return;
+    locality_.send(randomPeer(rng), rt::tag::kPoolStealRequest, {});
+  }
+
+  // Ask a random remote locality for a stack steal (Stack-Stealing idle path
+  // when no local worker is busy).
+  void requestRemoteStackSteal(Rng& rng) {
+    if (params_.nLocalities < 2) return;
+    if (!tryAcquireStealSlot()) return;
+    locality_.send(randomPeer(rng), rt::tag::kStackStealRequest, {});
+  }
+
+  // Remote steal requests waiting to be answered by one of this locality's
+  // busy workers (the victims). The atomic count lets the search hot loop
+  // skip the channel lock when nothing is pending.
+  bool hasPendingRemoteSteal() const {
+    return pendingRemoteCount_.load(std::memory_order_relaxed) > 0;
+  }
+
+  std::optional<int> takePendingRemoteSteal() {
+    auto origin = pendingRemoteSteals_.tryPop();
+    if (origin) pendingRemoteCount_.fetch_sub(1, std::memory_order_relaxed);
+    return origin;
+  }
+
+  // Victim side: send `tasks` (possibly empty = NACK) to `origin`.
+  void answerRemoteSteal(int origin, std::vector<Task> tasks) {
+    if (!tasks.empty()) {
+      term_.taskCreated(tasks.size());
+    }
+    locality_.send(origin, rt::tag::kStackStealReply, toBytes(tasks));
+  }
+
+  std::atomic<int>& busyWorkers() { return busyWorkers_; }
+
+ private:
+  static constexpr auto kStealTimeout = 5ms;
+
+  bool tryAcquireStealSlot() {
+    auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+    if (stealInFlight_.exchange(true, std::memory_order_acq_rel)) {
+      // Someone else's request is outstanding; expire it if it looks lost.
+      auto sentAt = stealSentAt_.load(std::memory_order_relaxed);
+      if (now - sentAt >
+          std::chrono::nanoseconds(kStealTimeout).count()) {
+        stealSentAt_.store(now, std::memory_order_relaxed);
+        return true;
+      }
+      return false;
+    }
+    stealSentAt_.store(now, std::memory_order_relaxed);
+    return true;
+  }
+
+  void releaseStealSlot() {
+    stealInFlight_.store(false, std::memory_order_release);
+  }
+
+  void registerHandlers() {
+    // Knowledge: a remote locality found a better incumbent objective.
+    locality_.registerHandler(rt::tag::kBoundUpdate, [this](rt::Message&& m) {
+      auto b = fromBytes<std::int64_t>(std::move(m.payload));
+      if (atomicMax(reg_.localBound, b)) {
+        reg_.metrics.boundUpdatesApplied.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+    });
+
+    // Decision short-circuit raised elsewhere.
+    locality_.registerHandler(rt::tag::kStopSearch, [this](rt::Message&&) {
+      reg_.stop.store(true, std::memory_order_relaxed);
+    });
+
+    // A remote idle locality asks our workpool for a task. The manager
+    // answers directly; pools are thread-safe.
+    locality_.registerHandler(
+        rt::tag::kPoolStealRequest, [this](rt::Message&& m) {
+          auto task = pool_->steal();
+          if (task) {
+            locality_.send(m.src, rt::tag::kPoolStealReply, toBytes(*task));
+          } else {
+            locality_.send(m.src, rt::tag::kPoolStealReply, {});
+          }
+        });
+
+    // Reply to our pool-steal request: push the task locally (the idle
+    // worker's popWait picks it up).
+    locality_.registerHandler(
+        rt::tag::kPoolStealReply, [this](rt::Message&& m) {
+          releaseStealSlot();
+          if (m.payload.empty()) {
+            reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          auto task = fromBytes<Task>(std::move(m.payload));
+          reg_.metrics.remoteSteals.fetch_add(1, std::memory_order_relaxed);
+          int depth = task.depth;
+          pool_->push(std::move(task), depth);
+        });
+
+    // A remote thief wants a stack steal: if any worker here is busy, queue
+    // the request for a victim worker to answer mid-search; otherwise NACK
+    // immediately so the thief's steal slot frees up.
+    locality_.registerHandler(
+        rt::tag::kStackStealRequest, [this](rt::Message&& m) {
+          if (busyWorkers_.load(std::memory_order_relaxed) > 0) {
+            pendingRemoteCount_.fetch_add(1, std::memory_order_relaxed);
+            pendingRemoteSteals_.push(m.src);
+          } else {
+            locality_.send(m.src, rt::tag::kStackStealReply,
+                           toBytes(std::vector<Task>{}));
+          }
+        });
+
+    // Stolen tasks arriving from a remote victim.
+    locality_.registerHandler(
+        rt::tag::kStackStealReply, [this](rt::Message&& m) {
+          releaseStealSlot();
+          auto tasks = fromBytes<std::vector<Task>>(std::move(m.payload));
+          if (tasks.empty()) {
+            reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          reg_.metrics.remoteSteals.fetch_add(tasks.size(),
+                                              std::memory_order_relaxed);
+          for (auto& t : tasks) {
+            int depth = t.depth;
+            pool_->push(std::move(t), depth);
+          }
+        });
+  }
+
+  Params params_;
+  rt::Locality locality_;
+  rt::TerminationDetector term_;
+  std::unique_ptr<rt::Workpool<Task>> pool_;
+  Reg reg_;
+  Space space_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  rt::Channel<int> pendingRemoteSteals_;
+  std::atomic<int> pendingRemoteCount_{0};
+  std::atomic<int> busyWorkers_{0};
+  std::atomic<bool> stealInFlight_{false};
+  std::atomic<std::int64_t> stealSentAt_{0};
+};
+
+// Generic engine: Coordination supplies executeTask() and onIdle().
+template <typename Coordination, typename Gen, typename SearchType,
+          typename... Opts>
+struct Engine {
+  using Space = typename Gen::Space;
+  using Node = typename Gen::Node;
+  using Bound = BoundOf<Opts...>;
+  using Ctx = EngineCtx<Gen, SearchType, Bound, kPruneLevelOf<Opts...>>;
+  using Ops = typename Ctx::Ops;
+  using Task = typename Ctx::Task;
+  using Out = Outcome<Node, typename Ops::EnumValue>;
+
+  static Out run(const Params& params, const Space& space, const Node& root) {
+    Timer timer;
+    auto spaceBytes = toBytes(space);
+
+    rt::Network net(params.nLocalities, params.networkDelayMicros);
+    std::vector<std::unique_ptr<Ctx>> locs;
+    locs.reserve(static_cast<std::size_t>(params.nLocalities));
+    for (int i = 0; i < params.nLocalities; ++i) {
+      locs.push_back(std::make_unique<Ctx>(net, i, params, spaceBytes));
+    }
+    for (auto& l : locs) l->locality().start();
+
+    // Root task: count it before the leader starts polling, so the detector
+    // never observes the initial 0 == 0 state.
+    locs[0]->reg().metrics.tasksSpawned.fetch_add(1);
+    locs[0]->term().taskCreated();
+    locs[0]->pool().push(Task{root, 0}, 0);
+    locs[0]->term().startLeader();
+
+    {
+      std::vector<std::unique_ptr<rt::WorkerTeam>> teams;
+      teams.reserve(locs.size());
+      for (auto& l : locs) {
+        Ctx* ctx = l.get();
+        teams.push_back(std::make_unique<rt::WorkerTeam>(
+            params.workersPerLocality,
+            [ctx](int w) { workerLoop(*ctx, w); }));
+      }
+      // Teams join in ~WorkerTeam once every locality's detector fired.
+    }
+
+    for (auto& l : locs) l->term().stop();
+    for (auto& l : locs) l->locality().stop();
+
+    return gather(params, locs, timer.elapsedSeconds());
+  }
+
+ private:
+  static void workerLoop(Ctx& ctx, int w) {
+    auto& ws = *ctx.workers()[static_cast<std::size_t>(w)];
+    while (!ctx.term().finished()) {
+      if (auto task = ctx.pool().popWait(200us)) {
+        ws.busy.store(true, std::memory_order_release);
+        ctx.busyWorkers().fetch_add(1, std::memory_order_acq_rel);
+        if (!ctx.stopped()) {
+          Coordination::executeTask(ctx, ws, std::move(*task));
+        }
+        ctx.busyWorkers().fetch_sub(1, std::memory_order_acq_rel);
+        ws.busy.store(false, std::memory_order_release);
+        ctx.term().taskCompleted();
+        continue;
+      }
+      Coordination::onIdle(ctx, ws);
+    }
+    Ops::mergeWorkerAcc(ctx.reg(), ws.acc);
+  }
+
+  static Out gather(const Params& params,
+                    std::vector<std::unique_ptr<Ctx>>& locs, double elapsed) {
+    Out out;
+    out.elapsedSeconds = elapsed;
+    for (auto& l : locs) {
+      auto& reg = l->reg();
+      out.metrics += reg.metrics.snapshot();
+      if constexpr (SearchType::isEnumeration) {
+        using M = typename SearchType::M;
+        out.sum = M::plus(std::move(out.sum), std::move(reg.acc));
+      } else {
+        if (reg.incumbentObj > out.objective) {
+          out.objective = reg.incumbentObj;
+          out.incumbent = std::move(reg.incumbent);
+        }
+      }
+      if (reg.truncated.load()) out.complete = false;
+    }
+    if constexpr (SearchType::isDecision) {
+      out.decided = out.objective >= params.decisionTarget;
+    }
+    return out;
+  }
+};
+
+}  // namespace yewpar::detail

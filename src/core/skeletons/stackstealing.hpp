@@ -1,0 +1,82 @@
+#pragma once
+
+// Stack-Stealing search coordination (paper Section 4.2, rule (spawn-stack),
+// and Listing 3): work is split only on demand, when an idle worker sends a
+// steal request. Victims poll their steal channel on every expansion step
+// and reply with the first unexplored subtree at the lowest depth of their
+// generator stack (or all siblings at that depth when `chunked`). Victim
+// selection is random; remote localities are only tried when no local worker
+// is active, matching Section 4.2's description.
+
+#include "core/skeletons/engine.hpp"
+#include "core/skeletons/subtree_search.hpp"
+
+namespace yewpar::skeletons {
+
+namespace ssdetail {
+
+using namespace std::chrono_literals;
+
+template <typename Gen>
+struct Coord {
+  template <typename Ctx, typename WS>
+  static void executeTask(Ctx& ctx, WS& ws, typename Ctx::Task task) {
+    using Ops = typename Ctx::Ops;
+    auto res = Ops::visit(ctx.reg(), ws.acc, ctx.space(), task.node);
+    ctx.applyVisit(res);
+    if (res.action == detail::Action::Prune) ++ws.acc.prunes;
+    if (res.action != detail::Action::Continue) return;
+    detail::subtreeSearch<true, Gen>(ctx, ws, task.node, task.depth,
+                                     /*budget=*/0);
+  }
+
+  template <typename Ctx, typename WS>
+  static void onIdle(Ctx& ctx, WS& ws) {
+    // Pick a random busy local worker as victim.
+    auto& workers = ctx.workers();
+    const int n = static_cast<int>(workers.size());
+    int start = n > 0 ? static_cast<int>(
+                            ws.rng.below(static_cast<std::uint64_t>(n)))
+                      : 0;
+    for (int k = 0; k < n; ++k) {
+      int v = (start + k) % n;
+      if (v == ws.id) continue;
+      auto& victim = *workers[static_cast<std::size_t>(v)];
+      if (!victim.busy.load(std::memory_order_acquire)) continue;
+      if (auto tasks = victim.stealChan.steal(500us)) {
+        // Stolen tasks were counted created by the victim; queue them
+        // locally - the workpool acts as the transit buffer of Section 3.6.
+        for (auto& t : *tasks) {
+          const int depth = t.depth;
+          ctx.pool().push(std::move(t), depth);
+        }
+        return;
+      }
+      ctx.reg().metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+      return;  // one attempt per idle round; back off via popWait
+    }
+
+    // No busy local worker: try a remote locality.
+    if (ctx.busyWorkers().load(std::memory_order_relaxed) == 0) {
+      ctx.requestRemoteStackSteal(ws.rng);
+    }
+  }
+};
+
+}  // namespace ssdetail
+
+template <NodeGenerator Gen, typename SearchType, typename... Opts>
+struct StackStealing {
+  using Space = typename Gen::Space;
+  using Node = typename Gen::Node;
+  using Eng =
+      detail::Engine<ssdetail::Coord<Gen>, Gen, SearchType, Opts...>;
+  using Out = typename Eng::Out;
+
+  static Out search(const Params& params, const Space& space,
+                    const Node& root) {
+    return Eng::run(params, space, root);
+  }
+};
+
+}  // namespace yewpar::skeletons

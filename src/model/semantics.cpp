@@ -1,0 +1,312 @@
+#include "model/semantics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace yewpar::model {
+
+Semantics::Semantics(const Tree& tree, SearchKind kind,
+                     std::vector<std::int64_t> h, std::int64_t target)
+    : tree_(tree), kind_(kind), h_(std::move(h)), target_(target) {
+  assert(static_cast<int>(h_.size()) == tree_.size());
+  if (kind_ == SearchKind::Decision) {
+    // Bounded total order: objective values cut off at the greatest element.
+    for (auto& x : h_) x = std::min(x, target_);
+  }
+  // subtreeMax is the strongest admissible pruning bound: the exact maximum
+  // of h over the materialised subtree. u |> v iff h(u) >= subtreeMax(v),
+  // which satisfies admissibility conditions 1-3 of Section 3.5.
+  subtreeMax_.assign(h_.begin(), h_.end());
+  // Children have higher preorder; process in reverse preorder to fold up.
+  std::vector<int> byPre(static_cast<std::size_t>(tree_.size()));
+  for (int v = 0; v < tree_.size(); ++v) {
+    byPre[static_cast<std::size_t>(tree_.pre[static_cast<std::size_t>(v)])] =
+        v;
+  }
+  for (int i = tree_.size() - 1; i > 0; --i) {
+    int v = byPre[static_cast<std::size_t>(i)];
+    int p = tree_.parent[static_cast<std::size_t>(v)];
+    subtreeMax_[static_cast<std::size_t>(p)] =
+        std::max(subtreeMax_[static_cast<std::size_t>(p)],
+                 subtreeMax_[static_cast<std::size_t>(v)]);
+  }
+}
+
+Semantics::Config Semantics::initial(int nThreads) const {
+  Config c;
+  c.threads.resize(static_cast<std::size_t>(nThreads));
+  std::set<int> all;
+  for (int v = 0; v < tree_.size(); ++v) all.insert(v);
+  c.tasks.push_back(std::move(all));
+  c.incumbent = kind_ == SearchKind::Enumeration ? -1 : 0;  // {epsilon}
+  c.acc = 0;
+  // Note: the paper's initial incumbent {epsilon} is the root, which has not
+  // been "processed"; processing happens on (schedule). To match, the root's
+  // objective enters the incumbent comparison when the root is visited.
+  return c;
+}
+
+void Semantics::processNode(Config& c, int v) const {
+  if (kind_ == SearchKind::Enumeration) {
+    // (accumulate)
+    c.acc += h_[static_cast<std::size_t>(v)];
+    return;
+  }
+  // (strengthen) / (skip)
+  if (c.incumbent < 0 ||
+      h_[static_cast<std::size_t>(v)] >
+          h_[static_cast<std::size_t>(c.incumbent)]) {
+    c.incumbent = v;
+  }
+}
+
+bool Semantics::schedule(Config& c, int i) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (th.active || c.tasks.empty()) return false;
+  th.S = std::move(c.tasks.front());
+  c.tasks.pop_front();
+  th.active = true;
+  th.k = 0;
+  th.v = rootOf(tree_, th.S);
+  processNode(c, th.v);  // -> N step paired with the traversal step
+  return true;
+}
+
+bool Semantics::traverse(Config& c, int i) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active) return false;
+  int v2 = nextInOrder(tree_, th.S, th.v);
+  if (v2 == -1) {
+    // (terminate) then (noop)
+    th.active = false;
+    th.S.clear();
+    th.v = -1;
+    return true;
+  }
+  if (tree_.isPrefix(th.v, v2)) {
+    // (expand)
+    th.v = v2;
+  } else {
+    // (backtrack)
+    th.v = v2;
+    th.k += 1;
+  }
+  processNode(c, th.v);
+  return true;
+}
+
+bool Semantics::prunable(const Config& c, int i) const {
+  if (kind_ == SearchKind::Enumeration) return false;
+  const auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active || c.incumbent < 0) return false;
+  // u |> v with u the incumbent, v the current node; S' nonempty.
+  if (h_[static_cast<std::size_t>(c.incumbent)] <
+      subtreeMax_[static_cast<std::size_t>(th.v)]) {
+    return false;
+  }
+  auto sub = subtreeOf(tree_, th.S, th.v);
+  return sub.size() > 1;  // subtree(S, v) \ {v} nonempty
+}
+
+bool Semantics::prune(Config& c, int i) const {
+  if (!prunable(c, i)) return false;
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  auto sub = subtreeOf(tree_, th.S, th.v);
+  sub.erase(th.v);
+  for (int w : sub) th.S.erase(w);
+  return true;
+}
+
+bool Semantics::shortcircuit(Config& c) const {
+  if (kind_ != SearchKind::Decision || c.incumbent < 0) return false;
+  if (h_[static_cast<std::size_t>(c.incumbent)] < target_) return false;
+  // <{u}, Tasks, ...> -> <{u}, [], bot...bot>
+  c.tasks.clear();
+  for (auto& th : c.threads) {
+    th.active = false;
+    th.S.clear();
+    th.v = -1;
+  }
+  c.shortcircuited = true;
+  return true;
+}
+
+bool Semantics::spawnGeneric(Config& c, int i, Rng& rng) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active) return false;
+  // Candidates: u in S with v << u.
+  std::vector<int> candidates;
+  for (int u : th.S) {
+    if (tree_.before(th.v, u)) candidates.push_back(u);
+  }
+  if (candidates.empty()) return false;
+  int u = candidates[rng.below(candidates.size())];
+  auto su = subtreeOf(tree_, th.S, u);
+  for (int w : su) th.S.erase(w);
+  c.tasks.push_back(std::move(su));
+  return true;
+}
+
+bool Semantics::spawnDepth(Config& c, int i, int dcutoff) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active) return false;
+  if (tree_.depth[static_cast<std::size_t>(th.v)] >= dcutoff) return false;
+  // children(S, v), in traversal order.
+  std::vector<int> kids;
+  for (int ch : tree_.children[static_cast<std::size_t>(th.v)]) {
+    if (th.S.count(ch)) kids.push_back(ch);
+  }
+  if (kids.empty()) return false;
+  for (int ch : kids) {
+    auto su = subtreeOf(tree_, th.S, ch);
+    for (int w : su) th.S.erase(w);
+    c.tasks.push_back(std::move(su));
+  }
+  return true;
+}
+
+bool Semantics::spawnBudget(Config& c, int i, int kbudget) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active || th.k < kbudget) return false;
+  auto low = lowestSucc(tree_, th.S, th.v);
+  if (low.empty()) return false;
+  for (int u : low) {
+    auto su = subtreeOf(tree_, th.S, u);
+    for (int w : su) th.S.erase(w);
+    c.tasks.push_back(std::move(su));
+  }
+  th.k = 0;
+  return true;
+}
+
+bool Semantics::spawnStack(Config& c, int i) const {
+  auto& th = c.threads[static_cast<std::size_t>(i)];
+  if (!th.active || !c.tasks.empty()) return false;  // only on empty queue
+  int u = nextLowest(tree_, th.S, th.v);
+  if (u == -1) return false;
+  auto su = subtreeOf(tree_, th.S, u);
+  for (int w : su) th.S.erase(w);
+  c.tasks.push_back(std::move(su));
+  return true;
+}
+
+bool Semantics::step(Config& c, Rng& rng, const SpawnPolicy& policy) const {
+  if (c.isFinal()) return false;
+
+  // Enumerate applicable moves as (kind, thread) pairs.
+  enum MoveKind {
+    kSchedule,
+    kTraverse,
+    kPrune,
+    kShort,
+    kSpawnGen,
+    kSpawnDepth,
+    kSpawnBudget,
+    kSpawnStack
+  };
+  struct Move {
+    MoveKind kind;
+    int thread;
+    int weight;
+  };
+  std::vector<Move> moves;
+  const int n = static_cast<int>(c.threads.size());
+  for (int i = 0; i < n; ++i) {
+    const auto& th = c.threads[static_cast<std::size_t>(i)];
+    if (!th.active) {
+      if (!c.tasks.empty()) moves.push_back({kSchedule, i, 100});
+      continue;
+    }
+    moves.push_back({kTraverse, i, 100});
+    if (prunable(c, i)) moves.push_back({kPrune, i, policy.pruneWeight});
+    if (policy.genericSpawn) moves.push_back({kSpawnGen, i, 20});
+    if (policy.spawnDepth &&
+        tree_.depth[static_cast<std::size_t>(th.v)] < policy.dcutoff) {
+      moves.push_back({kSpawnDepth, i, 40});
+    }
+    if (policy.spawnBudget && th.k >= policy.kbudget) {
+      moves.push_back({kSpawnBudget, i, 60});
+    }
+    if (policy.spawnStack && c.tasks.empty()) {
+      moves.push_back({kSpawnStack, i, 30});
+    }
+  }
+  if (kind_ == SearchKind::Decision && c.incumbent >= 0 &&
+      h_[static_cast<std::size_t>(c.incumbent)] >= target_) {
+    moves.push_back({kShort, 0, 100});
+  }
+  // Weighted random choice; a move whose full guard fails (e.g. spawn-depth
+  // on a node whose children were already spawned) is discarded and another
+  // is tried. Traversal/schedule moves always fire, so a non-final
+  // configuration always makes progress.
+  while (!moves.empty()) {
+    std::int64_t total = 0;
+    for (const auto& m : moves) total += m.weight;
+    std::size_t chosenIdx = 0;
+    if (total > 0) {
+      std::int64_t pick = static_cast<std::int64_t>(
+          rng.below(static_cast<std::uint64_t>(total)));
+      for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+        pick -= moves[mi].weight;
+        if (pick < 0) {
+          chosenIdx = mi;
+          break;
+        }
+      }
+    }
+    const Move chosen = moves[chosenIdx];
+
+    bool fired = false;
+    switch (chosen.kind) {
+      case kSchedule: fired = schedule(c, chosen.thread); break;
+      case kTraverse: fired = traverse(c, chosen.thread); break;
+      case kPrune: fired = prune(c, chosen.thread); break;
+      case kShort: fired = shortcircuit(c); break;
+      case kSpawnGen: fired = spawnGeneric(c, chosen.thread, rng); break;
+      case kSpawnDepth:
+        fired = spawnDepth(c, chosen.thread, policy.dcutoff);
+        break;
+      case kSpawnBudget:
+        fired = spawnBudget(c, chosen.thread, policy.kbudget);
+        break;
+      case kSpawnStack: fired = spawnStack(c, chosen.thread); break;
+    }
+    if (fired) {
+      c.steps += 1;
+      return true;
+    }
+    moves.erase(moves.begin() + static_cast<std::ptrdiff_t>(chosenIdx));
+  }
+  return false;
+}
+
+Semantics::Config Semantics::run(int nThreads, Rng& rng,
+                                 const SpawnPolicy& policy) const {
+  Config c = initial(nThreads);
+  // Theorem 3.3 gives termination; a generous step bound turns divergence
+  // into a hard failure instead of a hang.
+  const std::uint64_t bound =
+      static_cast<std::uint64_t>(tree_.size()) * 50u + 10000u;
+  while (!c.isFinal()) {
+    if (!step(c, rng, policy)) break;
+    if (c.steps > bound) {
+      throw std::runtime_error("semantics: step bound exceeded (divergence?)");
+    }
+  }
+  return c;
+}
+
+std::int64_t Semantics::expectedSum() const {
+  std::int64_t s = 0;
+  for (auto x : h_) s += x;
+  return s;
+}
+
+std::int64_t Semantics::expectedMax() const {
+  std::int64_t m = h_.empty() ? 0 : h_[0];
+  for (auto x : h_) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace yewpar::model

@@ -1,0 +1,104 @@
+#pragma once
+
+// Executable version of the paper's operational semantics (Section 3, Fig. 2).
+//
+// A Config is exactly the paper's configuration <sigma, Tasks, theta_1..n>:
+// global knowledge (accumulator or incumbent), a queue of pending tasks
+// (subtree sets), and n thread states <S, v>^k. The reduction rules are
+// implemented one-to-one; a seeded driver applies randomly chosen applicable
+// rules, which lets tests check Theorems 3.1-3.3 under many interleavings.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "model/tree.hpp"
+#include "util/rng.hpp"
+
+namespace yewpar::model {
+
+enum class SearchKind { Enumeration, Optimisation, Decision };
+
+// Which spawn rules the driver may fire (Section 3.6: the derived rules are
+// semantically redundant; any mix must yield the same result).
+struct SpawnPolicy {
+  bool genericSpawn = false;  // rule (spawn)
+  bool spawnDepth = false;    // rule (spawn-depth)
+  bool spawnBudget = false;   // rule (spawn-budget)
+  bool spawnStack = false;    // rule (spawn-stack)
+  int dcutoff = 2;
+  int kbudget = 3;
+  // Probability weight of firing prune when applicable (0..100).
+  int pruneWeight = 50;
+};
+
+class Semantics {
+ public:
+  struct ThreadState {
+    bool active = false;
+    std::set<int> S;
+    int v = -1;
+    int k = 0;  // backtrack counter
+  };
+
+  struct Config {
+    std::deque<std::set<int>> tasks;
+    std::vector<ThreadState> threads;
+    std::int64_t acc = 0;  // enumeration accumulator <x>
+    int incumbent = -1;    // optimisation/decision incumbent {u}
+    std::uint64_t steps = 0;
+    bool shortcircuited = false;
+
+    bool isFinal() const {
+      if (!tasks.empty()) return false;
+      for (const auto& t : threads) {
+        if (t.active) return false;
+      }
+      return true;
+    }
+  };
+
+  // `objective` is h; for Decision searches values are cut off at `target`
+  // (the greatest element of the bounded order), as in Section 3.2.
+  Semantics(const Tree& tree, SearchKind kind, std::vector<std::int64_t> h,
+            std::int64_t target = 0);
+
+  // Initial configuration <sigma_0, [S_0], bot..bot> over the whole tree.
+  Config initial(int nThreads) const;
+
+  // Apply one randomly chosen applicable reduction. Returns false iff the
+  // configuration is final (no rule applies).
+  bool step(Config& c, Rng& rng, const SpawnPolicy& policy) const;
+
+  // Run to a final configuration. Asserts progress (Theorem 3.3 bound).
+  Config run(int nThreads, Rng& rng, const SpawnPolicy& policy) const;
+
+  // Ground truth for the theorems.
+  std::int64_t expectedSum() const;        // Theorem 3.1
+  std::int64_t expectedMax() const;        // Theorem 3.2
+  std::int64_t objValue(int v) const { return h_[static_cast<std::size_t>(v)]; }
+
+ private:
+  // Individual reduction rules; each returns true if it fired.
+  bool schedule(Config& c, int i) const;
+  bool traverse(Config& c, int i) const;  // (expand|backtrack|terminate) o N
+  bool prune(Config& c, int i) const;
+  bool shortcircuit(Config& c) const;
+  bool spawnGeneric(Config& c, int i, Rng& rng) const;
+  bool spawnDepth(Config& c, int i, int dcutoff) const;
+  bool spawnBudget(Config& c, int i, int kbudget) const;
+  bool spawnStack(Config& c, int i) const;
+
+  void processNode(Config& c, int v) const;  // (accumulate|strengthen|skip)
+  bool prunable(const Config& c, int i) const;
+
+  const Tree& tree_;
+  SearchKind kind_;
+  std::vector<std::int64_t> h_;
+  std::int64_t target_;
+  std::vector<std::int64_t> subtreeMax_;  // admissible bound per node
+};
+
+}  // namespace yewpar::model

@@ -1,0 +1,140 @@
+#include "model/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace yewpar::model {
+
+void finalizeOrders(Tree& t) {
+  const int n = t.size();
+  t.pre.assign(static_cast<std::size_t>(n), -1);
+  t.post.assign(static_cast<std::size_t>(n), -1);
+  int preCounter = 0;
+  int postCounter = 0;
+  // Iterative DFS in sibling order.
+  std::vector<std::pair<int, std::size_t>> stack;  // (node, next child idx)
+  stack.emplace_back(0, 0);
+  t.pre[0] = preCounter++;
+  while (!stack.empty()) {
+    auto& [v, ci] = stack.back();
+    if (ci < t.children[static_cast<std::size_t>(v)].size()) {
+      int c = t.children[static_cast<std::size_t>(v)][ci++];
+      t.pre[static_cast<std::size_t>(c)] = preCounter++;
+      stack.emplace_back(c, 0);
+    } else {
+      t.post[static_cast<std::size_t>(v)] = postCounter++;
+      stack.pop_back();
+    }
+  }
+  // post[] is DFS finish order: children finish before their ancestors, so
+  // ancestors have larger post values - exactly what isPrefix() needs.
+}
+
+Tree randomTree(Rng& rng, int maxNodes, int maxBranch) {
+  assert(maxNodes >= 1 && maxBranch >= 1);
+  Tree t;
+  t.children.resize(1);
+  t.parent.push_back(-1);
+  t.depth.push_back(0);
+  // Grow by attaching each new node to a random existing node; preserves
+  // sibling order by appending.
+  for (int v = 1; v < maxNodes; ++v) {
+    int p;
+    do {
+      p = static_cast<int>(rng.below(static_cast<std::uint64_t>(v)));
+    } while (t.children[static_cast<std::size_t>(p)].size() >=
+             static_cast<std::size_t>(maxBranch));
+    t.children.push_back({});
+    t.children[static_cast<std::size_t>(p)].push_back(v);
+    t.parent.push_back(p);
+    t.depth.push_back(t.depth[static_cast<std::size_t>(p)] + 1);
+  }
+  finalizeOrders(t);
+  return t;
+}
+
+Tree completeTree(int branching, int depth) {
+  Tree t;
+  t.children.resize(1);
+  t.parent.push_back(-1);
+  t.depth.push_back(0);
+  std::vector<int> frontier{0};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> next;
+    for (int p : frontier) {
+      for (int b = 0; b < branching; ++b) {
+        int v = t.size();
+        t.children.push_back({});
+        t.children[static_cast<std::size_t>(p)].push_back(v);
+        t.parent.push_back(p);
+        t.depth.push_back(d + 1);
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  finalizeOrders(t);
+  return t;
+}
+
+int nextInOrder(const Tree& t, const std::set<int>& S, int v) {
+  int best = -1;
+  for (int w : S) {
+    if (t.pre[static_cast<std::size_t>(w)] >
+        t.pre[static_cast<std::size_t>(v)]) {
+      if (best == -1 || t.pre[static_cast<std::size_t>(w)] <
+                            t.pre[static_cast<std::size_t>(best)]) {
+        best = w;
+      }
+    }
+  }
+  return best;
+}
+
+std::set<int> subtreeOf(const Tree& t, const std::set<int>& S, int v) {
+  std::set<int> out;
+  for (int w : S) {
+    if (t.isPrefix(v, w)) out.insert(w);
+  }
+  return out;
+}
+
+std::vector<int> lowestSucc(const Tree& t, const std::set<int>& S, int v) {
+  int minDepth = -1;
+  for (int w : S) {
+    if (!t.before(v, w)) continue;
+    int d = t.depth[static_cast<std::size_t>(w)];
+    if (minDepth == -1 || d < minDepth) minDepth = d;
+  }
+  std::vector<int> out;
+  if (minDepth == -1) return out;
+  for (int w : S) {
+    if (t.before(v, w) && t.depth[static_cast<std::size_t>(w)] == minDepth) {
+      out.push_back(w);
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](int a, int b) {
+    return t.pre[static_cast<std::size_t>(a)] <
+           t.pre[static_cast<std::size_t>(b)];
+  });
+  return out;
+}
+
+int nextLowest(const Tree& t, const std::set<int>& S, int v) {
+  auto xs = lowestSucc(t, S, v);
+  return xs.empty() ? -1 : xs.front();
+}
+
+int rootOf(const Tree& t, const std::set<int>& S) {
+  assert(!S.empty());
+  int best = *S.begin();
+  for (int w : S) {
+    if (t.pre[static_cast<std::size_t>(w)] <
+        t.pre[static_cast<std::size_t>(best)]) {
+      best = w;
+    }
+  }
+  return best;
+}
+
+}  // namespace yewpar::model

@@ -1,0 +1,70 @@
+#pragma once
+
+// Materialised ordered trees for the executable formal model (paper
+// Section 3.1). Unlike the skeleton library - which never materialises the
+// search tree - the model works on explicit finite trees so the reduction
+// rules of Fig. 2 can be applied and checked exhaustively.
+//
+// Nodes are integers 0..n-1 with 0 the root; sibling order is the order of
+// the `children` lists, and the traversal order << is the induced preorder.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace yewpar::model {
+
+struct Tree {
+  std::vector<std::vector<int>> children;  // in sibling order
+  std::vector<int> parent;                 // parent[0] == -1
+  std::vector<int> depth;
+  std::vector<int> pre;   // pre[v]: position of v in preorder traversal
+  std::vector<int> post;  // post[v]: position in postorder (ancestry tests)
+
+  int size() const { return static_cast<int>(children.size()); }
+
+  // u is an ancestor of (or equal to) v: the prefix order u <= v.
+  bool isPrefix(int u, int v) const {
+    return pre[u] <= pre[v] && post[u] >= post[v];
+  }
+
+  // u << v in traversal order (strict).
+  bool before(int u, int v) const { return pre[u] < pre[v]; }
+};
+
+// Build a random ordered tree with `maxNodes` nodes and branching factor up
+// to `maxBranch`, deterministic in `rng`.
+Tree randomTree(Rng& rng, int maxNodes, int maxBranch);
+
+// Build the complete b-ary tree of the given depth.
+Tree completeTree(int branching, int depth);
+
+// Recompute pre/post orders after structural construction. Must be called
+// once children/parent/depth are final.
+void finalizeOrders(Tree& t);
+
+// ---- operations on subtree sets ------------------------------------------
+//
+// A task is a subtree S (paper Section 3.1): a set of nodes with a least
+// element (its root) that is prefix-closed above the root. These helpers
+// implement the operators used by the reduction rules.
+
+// next(S, v): the node of S immediately following v in traversal order, or
+// -1 if none.
+int nextInOrder(const Tree& t, const std::set<int>& S, int v);
+
+// subtree(S, v): all nodes of S that have v as a prefix.
+std::set<int> subtreeOf(const Tree& t, const std::set<int>& S, int v);
+
+// lowest(S, v): the nodes of succ(S, v) at minimum depth.
+std::vector<int> lowestSucc(const Tree& t, const std::set<int>& S, int v);
+
+// nextLowest(S, v): the first (in traversal order) of lowest(S, v), or -1.
+int nextLowest(const Tree& t, const std::set<int>& S, int v);
+
+// Root (least element w.r.t. the prefix order) of a non-empty subtree set.
+int rootOf(const Tree& t, const std::set<int>& S);
+
+}  // namespace yewpar::model

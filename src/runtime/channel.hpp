@@ -1,0 +1,123 @@
+#pragma once
+
+// Thread-safe channels used inside a locality.
+//
+// Channel<T>       : unbounded MPMC queue (blocking pop with timeout).
+// StealChannel<T>  : one-slot request/response rendezvous between a thief and
+//                    a victim worker, implementing the "atomic channels
+//                    between thieves and victims" of Section 4.2. The victim
+//                    polls `hasRequest()` (a relaxed atomic load, cheap enough
+//                    to run on every search expansion step) and answers with
+//                    zero or more tasks.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace yewpar::rt {
+
+template <typename T>
+class Channel {
+ public:
+  void push(T v) {
+    {
+      std::lock_guard lock(mtx_);
+      q_.push_back(std::move(v));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mtx_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  std::optional<T> popWait(std::chrono::microseconds timeout) {
+    std::unique_lock lock(mtx_);
+    if (!cv_.wait_for(lock, timeout, [&] { return !q_.empty(); })) {
+      return std::nullopt;
+    }
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mtx_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mtx_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+};
+
+// Single-outstanding-request steal rendezvous. Multiple thieves serialize on
+// the thief-side mutex; the victim only ever sees one pending request.
+template <typename T>
+class StealChannel {
+ public:
+  // Victim fast path: is somebody asking for work? Safe to call concurrently
+  // with everything else; intended to be polled on every expansion.
+  bool hasRequest() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  // Victim: answer the pending request (possibly with an empty vector,
+  // meaning "no work to give"). Returns false - leaving `tasks` untouched -
+  // if the thief has withdrawn the request in the meantime; the victim must
+  // then reintegrate the split-off tasks itself (work must never be lost).
+  bool respond(std::vector<T>&& tasks) {
+    std::lock_guard lock(mtx_);
+    if (!requested_.load(std::memory_order_relaxed)) return false;
+    response_ = std::move(tasks);
+    responded_ = true;
+    requested_.store(false, std::memory_order_release);
+    cv_.notify_all();
+    return true;
+  }
+
+  // Thief: post a request and wait for the victim's answer. Returns nothing
+  // on timeout (the request is withdrawn) or when the victim had no work.
+  std::optional<std::vector<T>> steal(std::chrono::microseconds timeout) {
+    std::unique_lock thiefLock(thiefMtx_, std::try_to_lock);
+    if (!thiefLock.owns_lock()) return std::nullopt;  // victim is busy with
+                                                      // another thief
+    {
+      std::lock_guard lock(mtx_);
+      responded_ = false;
+      response_.clear();
+      requested_.store(true, std::memory_order_release);
+    }
+    std::unique_lock lock(mtx_);
+    if (!cv_.wait_for(lock, timeout, [&] { return responded_; })) {
+      // Withdraw the request; if the victim responded in the meantime the
+      // response is consumed below.
+      requested_.store(false, std::memory_order_release);
+      if (!responded_) return std::nullopt;
+    }
+    responded_ = false;
+    if (response_.empty()) return std::nullopt;
+    return std::move(response_);
+  }
+
+ private:
+  std::mutex thiefMtx_;
+  mutable std::mutex mtx_;
+  std::condition_variable cv_;
+  std::atomic<bool> requested_{false};
+  bool responded_ = false;
+  std::vector<T> response_;
+};
+
+}  // namespace yewpar::rt

@@ -1,0 +1,36 @@
+#include "runtime/locality.hpp"
+
+#include <chrono>
+
+namespace yewpar::rt {
+
+void Locality::start() {
+  if (running_.exchange(true)) return;
+  manager_ = std::thread([this] { managerLoop(); });
+}
+
+void Locality::stop() {
+  if (!running_.load()) return;
+  // Wake the manager via a self-addressed shutdown message so it exits even
+  // while blocked in recvWait.
+  send(id_, tag::kShutdownManager, {});
+  if (manager_.joinable()) manager_.join();
+  running_.store(false);
+}
+
+void Locality::managerLoop() {
+  using namespace std::chrono_literals;
+  while (true) {
+    auto msg = net_.recvWait(id_, 500us);
+    if (!msg) continue;
+    if (msg->tag == tag::kShutdownManager) return;
+    auto it = handlers_.find(msg->tag);
+    if (it != handlers_.end()) {
+      it->second(std::move(*msg));
+    }
+    // Unhandled tags are dropped; this matches dropping messages that arrive
+    // after the subsystem that owned them has been torn down.
+  }
+}
+
+}  // namespace yewpar::rt

@@ -1,0 +1,65 @@
+#pragma once
+
+// A locality models one physical machine of the paper's cluster. Following
+// YewPar's split of OS threads (Section 4.3), each locality runs:
+//   * one *manager* thread, owned by this class, which drains the network
+//     inbox and dispatches messages to registered handlers (bound updates,
+//     steal requests, task transfers, termination protocol, ...), and
+//   * several *worker* threads, owned by the skeleton engine, which
+//     continuously seek and execute search tasks.
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/message.hpp"
+#include "runtime/network.hpp"
+
+namespace yewpar::rt {
+
+class Locality {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  Locality(Network& net, int id) : net_(net), id_(id) {}
+
+  ~Locality() { stop(); }
+
+  Locality(const Locality&) = delete;
+  Locality& operator=(const Locality&) = delete;
+
+  int id() const { return id_; }
+  Network& network() { return net_; }
+
+  // Register a handler for a message tag. Must be called before start().
+  // Handlers run on the manager thread; they must not block for long.
+  void registerHandler(int tagId, Handler h) { handlers_[tagId] = std::move(h); }
+
+  // Launch the manager thread.
+  void start();
+
+  // Stop and join the manager thread. Idempotent. Messages still queued are
+  // left undelivered (the search has finished by the time this is called).
+  void stop();
+
+  // Send a message from this locality.
+  void send(int dst, int tagId, std::vector<std::uint8_t> payload) {
+    net_.send(Message{id_, dst, tagId, std::move(payload)});
+  }
+
+  void broadcast(int tagId, const std::vector<std::uint8_t>& payload) {
+    net_.broadcast(id_, tagId, payload);
+  }
+
+ private:
+  void managerLoop();
+
+  Network& net_;
+  int id_;
+  std::unordered_map<int, Handler> handlers_;
+  std::thread manager_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace yewpar::rt

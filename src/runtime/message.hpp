@@ -1,0 +1,38 @@
+#pragma once
+
+// Messages exchanged between (simulated) localities. Payloads are opaque
+// bytes produced by util/archive.hpp; the network never shares object
+// pointers between localities, mirroring a real distributed-memory system.
+
+#include <cstdint>
+#include <vector>
+
+namespace yewpar::rt {
+
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Message tags. One flat space shared by all subsystems; the skeleton engine
+// and the runtime services each claim a few.
+namespace tag {
+inline constexpr int kShutdownManager = 1;   // stop a locality's manager loop
+inline constexpr int kSnapshotRequest = 2;   // termination: leader -> all
+inline constexpr int kSnapshotReply = 3;     // termination: all -> leader
+inline constexpr int kTerminate = 4;         // termination: leader -> all
+inline constexpr int kBoundUpdate = 10;      // knowledge: broadcast bound
+inline constexpr int kPoolStealRequest = 11; // workpool: idle loc -> victim
+inline constexpr int kPoolStealReply = 12;   // workpool: task or nack
+inline constexpr int kStackStealRequest = 13;// stack-stealing: remote steal
+inline constexpr int kStackStealReply = 14;  // stack-stealing: task or nack
+inline constexpr int kSpaceBroadcast = 15;   // replicate the search space
+inline constexpr int kGatherRequest = 20;    // collect per-locality results
+inline constexpr int kGatherReply = 21;
+inline constexpr int kStopSearch = 22;       // decision short-circuit
+inline constexpr int kUser = 100;            // first tag free for tests/apps
+}  // namespace tag
+
+}  // namespace yewpar::rt

@@ -1,0 +1,79 @@
+#pragma once
+
+// Coordination metrics collected per locality and summed at gather time.
+// Besides wall-clock time these are the primary evidence the benchmark
+// harness reports (nodes searched measures speculative work; spawns/steals
+// measure coordination volume; see DESIGN.md substitution 2).
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/archive.hpp"
+
+namespace yewpar::rt {
+
+struct MetricsSnapshot {
+  std::uint64_t nodesProcessed = 0;
+  std::uint64_t tasksSpawned = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t localSteals = 0;
+  std::uint64_t remoteSteals = 0;
+  std::uint64_t failedSteals = 0;
+  std::uint64_t boundBroadcasts = 0;
+  std::uint64_t boundUpdatesApplied = 0;
+
+  MetricsSnapshot& operator+=(const MetricsSnapshot& o) {
+    nodesProcessed += o.nodesProcessed;
+    tasksSpawned += o.tasksSpawned;
+    prunes += o.prunes;
+    backtracks += o.backtracks;
+    localSteals += o.localSteals;
+    remoteSteals += o.remoteSteals;
+    failedSteals += o.failedSteals;
+    boundBroadcasts += o.boundBroadcasts;
+    boundUpdatesApplied += o.boundUpdatesApplied;
+    return *this;
+  }
+
+  void save(OArchive& a) const {
+    a << nodesProcessed << tasksSpawned << prunes << backtracks << localSteals
+      << remoteSteals << failedSteals << boundBroadcasts
+      << boundUpdatesApplied;
+  }
+  void load(IArchive& a) {
+    a >> nodesProcessed >> tasksSpawned >> prunes >> backtracks >>
+        localSteals >> remoteSteals >> failedSteals >> boundBroadcasts >>
+        boundUpdatesApplied;
+  }
+};
+
+// Lock-free accumulation; workers of one locality share one instance.
+struct Metrics {
+  std::atomic<std::uint64_t> nodesProcessed{0};
+  std::atomic<std::uint64_t> tasksSpawned{0};
+  std::atomic<std::uint64_t> prunes{0};
+  std::atomic<std::uint64_t> backtracks{0};
+  std::atomic<std::uint64_t> localSteals{0};
+  std::atomic<std::uint64_t> remoteSteals{0};
+  std::atomic<std::uint64_t> failedSteals{0};
+  std::atomic<std::uint64_t> boundBroadcasts{0};
+  std::atomic<std::uint64_t> boundUpdatesApplied{0};
+
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot s;
+    s.nodesProcessed = nodesProcessed.load(std::memory_order_relaxed);
+    s.tasksSpawned = tasksSpawned.load(std::memory_order_relaxed);
+    s.prunes = prunes.load(std::memory_order_relaxed);
+    s.backtracks = backtracks.load(std::memory_order_relaxed);
+    s.localSteals = localSteals.load(std::memory_order_relaxed);
+    s.remoteSteals = remoteSteals.load(std::memory_order_relaxed);
+    s.failedSteals = failedSteals.load(std::memory_order_relaxed);
+    s.boundBroadcasts = boundBroadcasts.load(std::memory_order_relaxed);
+    s.boundUpdatesApplied =
+        boundUpdatesApplied.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace yewpar::rt

@@ -1,0 +1,75 @@
+#include "runtime/network.hpp"
+
+#include <cassert>
+
+namespace yewpar::rt {
+
+Network::Network(int nLocalities, double delayMicros)
+    : delay_(static_cast<std::int64_t>(delayMicros)) {
+  assert(nLocalities >= 1);
+  inboxes_.reserve(static_cast<std::size_t>(nLocalities));
+  for (int i = 0; i < nLocalities; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void Network::send(Message m) {
+  assert(m.dst >= 0 && m.dst < size());
+  auto deliverAt = Clock::now() + delay_;
+  Inbox& box = *inboxes_[static_cast<std::size_t>(m.dst)];
+  {
+    std::lock_guard lock(box.mtx);
+    box.queue.push_back(Pending{deliverAt, std::move(m)});
+  }
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  box.cv.notify_all();
+}
+
+void Network::broadcast(int src, int tagId,
+                        const std::vector<std::uint8_t>& payload) {
+  for (int dst = 0; dst < size(); ++dst) {
+    if (dst == src) continue;
+    send(Message{src, dst, tagId, payload});
+  }
+}
+
+std::optional<Message> Network::tryRecv(int loc) {
+  Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
+  std::lock_guard lock(box.mtx);
+  if (box.queue.empty()) return std::nullopt;
+  if (box.queue.front().deliverAt > Clock::now()) return std::nullopt;
+  Message m = std::move(box.queue.front().msg);
+  box.queue.pop_front();
+  return m;
+}
+
+std::optional<Message> Network::recvWait(int loc,
+                                         std::chrono::microseconds timeout) {
+  Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
+  auto deadline = Clock::now() + timeout;
+  std::unique_lock lock(box.mtx);
+  while (true) {
+    auto now = Clock::now();
+    if (!box.queue.empty()) {
+      auto at = box.queue.front().deliverAt;
+      if (at <= now) {
+        Message m = std::move(box.queue.front().msg);
+        box.queue.pop_front();
+        return m;
+      }
+      // A message exists but is still "in flight"; wait for its delivery
+      // time (or the caller's deadline, whichever is earlier).
+      box.cv.wait_until(lock, std::min(at, deadline));
+    } else {
+      if (now >= deadline) return std::nullopt;
+      box.cv.wait_until(lock, deadline);
+    }
+    if (box.queue.empty() && Clock::now() >= deadline) return std::nullopt;
+  }
+}
+
+std::uint64_t Network::messagesSent() const {
+  return sent_.load(std::memory_order_relaxed);
+}
+
+}  // namespace yewpar::rt

@@ -1,0 +1,65 @@
+#pragma once
+
+// In-process message-passing fabric connecting localities.
+//
+// This is the distributed-memory substitution described in DESIGN.md: the
+// paper runs YewPar over HPX on a Beowulf cluster; we run N localities inside
+// one process, but all inter-locality communication goes through this class
+// as serialized byte messages with an optional injected delivery latency.
+// Delivery per (src,dst) pair is FIFO, like a TCP-backed transport.
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/message.hpp"
+
+namespace yewpar::rt {
+
+class Network {
+ public:
+  // delayMicros: simulated one-way latency applied to every message.
+  explicit Network(int nLocalities, double delayMicros = 0.0);
+
+  int size() const { return static_cast<int>(inboxes_.size()); }
+
+  // Copies the message into the destination inbox. Thread-safe.
+  void send(Message m);
+
+  // Convenience: send `payload` under `tag` from src to every locality
+  // except src itself.
+  void broadcast(int src, int tagId, const std::vector<std::uint8_t>& payload);
+
+  // Non-blocking receive; returns nothing if no deliverable message.
+  std::optional<Message> tryRecv(int loc);
+
+  // Blocking receive with timeout; returns nothing on timeout.
+  std::optional<Message> recvWait(int loc, std::chrono::microseconds timeout);
+
+  // Total messages sent so far (for metrics and tests).
+  std::uint64_t messagesSent() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    Clock::time_point deliverAt;
+    Message msg;
+  };
+
+  struct Inbox {
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<Pending> queue;
+  };
+
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::chrono::microseconds delay_;
+  std::atomic<std::uint64_t> sent_{0};
+};
+
+}  // namespace yewpar::rt

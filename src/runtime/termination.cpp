@@ -1,0 +1,120 @@
+#include "runtime/termination.hpp"
+
+#include <chrono>
+
+#include "util/archive.hpp"
+
+namespace yewpar::rt {
+
+namespace {
+struct Snapshot {
+  std::uint64_t round = 0;
+  std::uint64_t created = 0;
+  std::uint64_t completed = 0;
+
+  void save(OArchive& a) const { a << round << created << completed; }
+  void load(IArchive& a) { a >> round >> created >> completed; }
+};
+}  // namespace
+
+TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
+    : loc_(loc), nLoc_(nLocalities) {
+  // All localities: answer snapshot requests with current local counters.
+  loc_.registerHandler(tag::kSnapshotRequest, [this](Message&& m) {
+    Snapshot req = fromBytes<Snapshot>(std::move(m.payload));
+    Snapshot reply;
+    reply.round = req.round;
+    // Read completed before created: if a task completes between the two
+    // loads we may under-report completed, which is safe (delays
+    // termination), whereas over-reporting could be unsafe.
+    reply.completed = completed_.load(std::memory_order_acquire);
+    reply.created = created_.load(std::memory_order_acquire);
+    loc_.send(m.src, tag::kSnapshotReply, toBytes(reply));
+  });
+
+  // All localities: leader's decision.
+  loc_.registerHandler(tag::kTerminate, [this](Message&&) {
+    finished_.store(true, std::memory_order_release);
+  });
+
+  if (loc_.id() == 0) {
+    loc_.registerHandler(tag::kSnapshotReply, [this](Message&& m) {
+      Snapshot s = fromBytes<Snapshot>(std::move(m.payload));
+      std::lock_guard lock(poll_.mtx);
+      if (static_cast<int>(s.round) != poll_.round) return;  // stale round
+      poll_.replies += 1;
+      poll_.sumCreated += s.created;
+      poll_.sumCompleted += s.completed;
+      poll_.cv.notify_all();
+    });
+  }
+}
+
+TerminationDetector::~TerminationDetector() { stop(); }
+
+void TerminationDetector::startLeader() {
+  if (loc_.id() != 0) return;
+  leaderRunning_.store(true);
+  leaderThread_ = std::thread([this] { leaderLoop(); });
+}
+
+void TerminationDetector::stop() {
+  if (leaderThread_.joinable()) {
+    leaderRunning_.store(false);
+    leaderThread_.join();
+  }
+}
+
+void TerminationDetector::leaderLoop() {
+  using namespace std::chrono_literals;
+  std::uint64_t prevCreated = ~std::uint64_t{0};
+  std::uint64_t prevCompleted = ~std::uint64_t{0};
+  int round = 0;
+
+  while (leaderRunning_.load() && !finished_.load()) {
+    ++round;
+    // Kick off a poll round: self-snapshot plus a request to every peer.
+    std::uint64_t sumCreated;
+    std::uint64_t sumCompleted;
+    {
+      std::lock_guard lock(poll_.mtx);
+      poll_.round = round;
+      poll_.replies = 0;
+      poll_.sumCompleted = completed_.load(std::memory_order_acquire);
+      poll_.sumCreated = created_.load(std::memory_order_acquire);
+    }
+    Snapshot req;
+    req.round = static_cast<std::uint64_t>(round);
+    for (int dst = 1; dst < nLoc_; ++dst) {
+      loc_.send(dst, tag::kSnapshotRequest, toBytes(req));
+    }
+    {
+      std::unique_lock lock(poll_.mtx);
+      bool complete = poll_.cv.wait_for(lock, 50ms, [&] {
+        return poll_.replies == nLoc_ - 1;
+      });
+      if (!complete) {
+        // Lost replies (should not happen on this transport); retry round.
+        prevCreated = ~std::uint64_t{0};
+        continue;
+      }
+      sumCreated = poll_.sumCreated;
+      sumCompleted = poll_.sumCompleted;
+    }
+
+    if (sumCreated == sumCompleted && sumCreated > 0 &&
+        sumCreated == prevCreated && sumCompleted == prevCompleted) {
+      // Two identical, quiescent polls: declare global termination.
+      finished_.store(true, std::memory_order_release);
+      for (int dst = 1; dst < nLoc_; ++dst) {
+        loc_.send(dst, tag::kTerminate, {});
+      }
+      return;
+    }
+    prevCreated = sumCreated;
+    prevCompleted = sumCompleted;
+    std::this_thread::sleep_for(200us);
+  }
+}
+
+}  // namespace yewpar::rt

@@ -1,0 +1,81 @@
+#pragma once
+
+// Distributed termination detection for the skeleton engine.
+//
+// Every unit of search work is a counted task (including the root task).
+// Each locality keeps two monotone counters: tasks created and tasks
+// completed. Locality 0 acts as leader and periodically polls snapshots from
+// all localities; when two consecutive polls return identical counter sums
+// with created == completed, no task can exist anywhere (in a pool, in a
+// worker, or in flight as a message - an in-flight task has been counted
+// created but not completed), so the leader broadcasts kTerminate. This is
+// Mattern's four-counter/double-poll scheme specialised to monotone
+// counters over a FIFO transport.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/locality.hpp"
+
+namespace yewpar::rt {
+
+class TerminationDetector {
+ public:
+  // Registers protocol handlers on `loc`. Construct before Locality::start().
+  // `nLocalities` is the number of participants; locality 0 is the leader.
+  TerminationDetector(Locality& loc, int nLocalities);
+  ~TerminationDetector();
+
+  TerminationDetector(const TerminationDetector&) = delete;
+  TerminationDetector& operator=(const TerminationDetector&) = delete;
+
+  // Count a task creation on this locality. Call before the task becomes
+  // visible to any other thread (push/send).
+  void taskCreated(std::uint64_t n = 1) {
+    created_.fetch_add(n, std::memory_order_release);
+  }
+
+  // Count a task completion (after its execution fully finished).
+  void taskCompleted() {
+    completed_.fetch_add(1, std::memory_order_release);
+  }
+
+  // True once the leader has decided global termination.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  // Leader only: start the polling thread. Call only after at least one task
+  // has been counted created (the root), otherwise the initial 0 == 0 state
+  // would be indistinguishable from completion.
+  void startLeader();
+
+  // Join the leader polling thread (leader) / no-op (others).
+  void stop();
+
+  std::uint64_t createdLocal() const { return created_.load(); }
+  std::uint64_t completedLocal() const { return completed_.load(); }
+
+ private:
+  void leaderLoop();
+
+  Locality& loc_;
+  int nLoc_;
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<bool> finished_{false};
+
+  // Leader state: replies for the current poll round.
+  struct PollState {
+    std::mutex mtx;
+    std::condition_variable cv;
+    int round = 0;
+    int replies = 0;
+    std::uint64_t sumCreated = 0;
+    std::uint64_t sumCompleted = 0;
+  };
+  PollState poll_;
+  std::thread leaderThread_;
+  std::atomic<bool> leaderRunning_{false};
+};
+
+}  // namespace yewpar::rt

@@ -1,0 +1,40 @@
+#pragma once
+
+// A fixed team of worker threads. Workers continuously seek and execute
+// search tasks (Section 4.3); the loop body is supplied by the skeleton
+// engine. Joining happens in the destructor or via join().
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace yewpar::rt {
+
+class WorkerTeam {
+ public:
+  // Spawns `n` threads each running fn(workerIndex).
+  WorkerTeam(int n, std::function<void(int)> fn) {
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads_.emplace_back([fn, i] { fn(i); });
+    }
+  }
+
+  ~WorkerTeam() { join(); }
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  void join() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace yewpar::rt

@@ -1,0 +1,212 @@
+#pragma once
+
+// Workpools holding spawned search tasks within a locality.
+//
+// DepthPool is the bespoke *order-preserving* workpool of Section 4.3: tasks
+// are bucketed by the search-tree depth at which they were spawned, FIFO
+// within a bucket. Local pops and steals both take from the shallowest
+// non-empty bucket, so tasks are handed out (a) heuristic-first within a
+// depth (left-to-right order is preserved) and (b) big-subtree-first across
+// depths (tasks near the root are expected to be the largest).
+//
+// DequePool is the conventional Cilk-style pool (LIFO local pop, FIFO steal)
+// that the paper argues *breaks* heuristic search order; it is provided for
+// the ablation benchmark.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace yewpar::rt {
+
+enum class PoolPolicy {
+  Depth,      // order-preserving depth pool (YewPar default)
+  DequeLifo,  // LIFO local pop (standard work-stealing deque)
+  DequeFifo,  // FIFO local pop (centralised queue behaviour)
+  Priority,   // strict sequential-order priority pool (Ordered skeleton)
+};
+
+template <typename T>
+class Workpool {
+ public:
+  virtual ~Workpool() = default;
+
+  virtual void push(T task, int depth) = 0;
+  virtual std::optional<T> pop() = 0;
+  // Steal for another worker/locality: may use a different end/bucket.
+  virtual std::optional<T> steal() = 0;
+  virtual std::size_t size() const = 0;
+
+  // Blocking pop with timeout, shared implementation.
+  std::optional<T> popWait(std::chrono::microseconds timeout) {
+    std::unique_lock lock(waitMtx_);
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      if (auto t = pop()) return t;
+      if (waitCv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        return pop();
+      }
+    }
+  }
+
+ protected:
+  void notifyWaiters() { waitCv_.notify_all(); }
+
+ private:
+  std::mutex waitMtx_;
+  std::condition_variable waitCv_;
+};
+
+template <typename T>
+class DepthPool final : public Workpool<T> {
+ public:
+  void push(T task, int depth) override {
+    {
+      std::lock_guard lock(mtx_);
+      buckets_[depth].push_back(std::move(task));
+      ++count_;
+    }
+    this->notifyWaiters();
+  }
+
+  std::optional<T> pop() override { return takeShallowest(); }
+
+  std::optional<T> steal() override { return takeShallowest(); }
+
+  std::size_t size() const override {
+    std::lock_guard lock(mtx_);
+    return count_;
+  }
+
+ private:
+  std::optional<T> takeShallowest() {
+    std::lock_guard lock(mtx_);
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      if (it->second.empty()) {
+        it = buckets_.erase(it);
+        continue;
+      }
+      T t = std::move(it->second.front());
+      it->second.pop_front();
+      --count_;
+      return t;
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mtx_;
+  std::map<int, std::deque<T>> buckets_;  // ordered by depth, shallow first
+  std::size_t count_ = 0;
+};
+
+template <typename T>
+class DequePool final : public Workpool<T> {
+ public:
+  explicit DequePool(bool lifoLocal) : lifoLocal_(lifoLocal) {}
+
+  void push(T task, int /*depth*/) override {
+    {
+      std::lock_guard lock(mtx_);
+      q_.push_back(std::move(task));
+    }
+    this->notifyWaiters();
+  }
+
+  std::optional<T> pop() override {
+    std::lock_guard lock(mtx_);
+    if (q_.empty()) return std::nullopt;
+    T t;
+    if (lifoLocal_) {
+      t = std::move(q_.back());
+      q_.pop_back();
+    } else {
+      t = std::move(q_.front());
+      q_.pop_front();
+    }
+    return t;
+  }
+
+  std::optional<T> steal() override {
+    std::lock_guard lock(mtx_);
+    if (q_.empty()) return std::nullopt;
+    T t = std::move(q_.front());  // steal the oldest (closest to the root)
+    q_.pop_front();
+    return t;
+  }
+
+  std::size_t size() const override {
+    std::lock_guard lock(mtx_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mtx_;
+  std::deque<T> q_;
+  bool lifoLocal_;
+};
+
+// Priority pool used by the Ordered skeleton: tasks carry a sequence number
+// (their position in the Sequential skeleton's traversal order) and are
+// always handed out lowest-sequence-first, by local pops and steals alike.
+// This is the strongest form of heuristic-order preservation: the task
+// execution order is a prefix-parallelisation of the sequential order, the
+// key ingredient of replicable branch-and-bound (paper Section 2.1's
+// anomaly discussion and ref [4]).
+template <typename T>
+  requires requires(T t) { t.seq; }
+class PriorityPool final : public Workpool<T> {
+ public:
+  void push(T task, int /*depth*/) override {
+    {
+      std::lock_guard lock(mtx_);
+      heap_.push_back(std::move(task));
+      std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+    this->notifyWaiters();
+  }
+
+  std::optional<T> pop() override { return take(); }
+  std::optional<T> steal() override { return take(); }
+
+  std::size_t size() const override {
+    std::lock_guard lock(mtx_);
+    return heap_.size();
+  }
+
+ private:
+  static bool cmp(const T& a, const T& b) { return a.seq > b.seq; }
+
+  std::optional<T> take() {
+    std::lock_guard lock(mtx_);
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    T t = std::move(heap_.back());
+    heap_.pop_back();
+    return t;
+  }
+
+  mutable std::mutex mtx_;
+  std::vector<T> heap_;
+};
+
+template <typename T>
+std::unique_ptr<Workpool<T>> makeWorkpool(PoolPolicy p) {
+  switch (p) {
+    case PoolPolicy::DequeLifo: return std::make_unique<DequePool<T>>(true);
+    case PoolPolicy::DequeFifo: return std::make_unique<DequePool<T>>(false);
+    case PoolPolicy::Priority:
+      if constexpr (requires(T t) { t.seq; }) {
+        return std::make_unique<PriorityPool<T>>();
+      } else {
+        return std::make_unique<DepthPool<T>>();
+      }
+    case PoolPolicy::Depth: default: return std::make_unique<DepthPool<T>>();
+  }
+}
+
+}  // namespace yewpar::rt

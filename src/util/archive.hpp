@@ -1,0 +1,189 @@
+#pragma once
+
+// Byte-level serialization used for every message that crosses a (simulated)
+// locality boundary. This stands in for HPX's serialization layer: a task or
+// knowledge update sent to a remote locality is flattened to bytes here and
+// reconstructed on the other side, so no object identity or pointer ever
+// crosses localities.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+#include <stdexcept>
+
+#include "util/bitset.hpp"
+
+namespace yewpar {
+
+class OArchive;
+class IArchive;
+
+namespace detail {
+template <typename T>
+concept TriviallySerializable =
+    std::is_arithmetic_v<T> || std::is_enum_v<T>;
+
+template <typename T>
+concept HasSave = requires(const T& t, OArchive& a) { t.save(a); };
+
+template <typename T>
+concept HasLoad = requires(T& t, IArchive& a) { t.load(a); };
+}  // namespace detail
+
+class OArchive {
+ public:
+  template <detail::TriviallySerializable T>
+  OArchive& operator<<(T v) {
+    auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
+    return *this;
+  }
+
+  OArchive& operator<<(const std::string& s) {
+    *this << static_cast<std::uint64_t>(s.size());
+    auto old = buf_.size();
+    buf_.resize(old + s.size());
+    std::memcpy(buf_.data() + old, s.data(), s.size());
+    return *this;
+  }
+
+  template <typename T>
+  OArchive& operator<<(const std::vector<T>& v) {
+    *this << static_cast<std::uint64_t>(v.size());
+    if constexpr (detail::TriviallySerializable<T>) {
+      auto old = buf_.size();
+      buf_.resize(old + v.size() * sizeof(T));
+      std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) *this << e;
+    }
+    return *this;
+  }
+
+  template <typename A, typename B>
+  OArchive& operator<<(const std::pair<A, B>& p) {
+    return *this << p.first << p.second;
+  }
+
+  OArchive& operator<<(const DynBitset& b) {
+    *this << static_cast<std::uint64_t>(b.size());
+    auto old = buf_.size();
+    buf_.resize(old + b.wordCount() * sizeof(DynBitset::Word));
+    std::memcpy(buf_.data() + old, b.data(),
+                b.wordCount() * sizeof(DynBitset::Word));
+    return *this;
+  }
+
+  template <detail::HasSave T>
+  OArchive& operator<<(const T& t) {
+    t.save(*this);
+    return *this;
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> takeBytes() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class IArchive {
+ public:
+  explicit IArchive(std::vector<std::uint8_t> bytes)
+      : buf_(std::move(bytes)) {}
+
+  template <detail::TriviallySerializable T>
+  IArchive& operator>>(T& v) {
+    need(sizeof(T));
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return *this;
+  }
+
+  IArchive& operator>>(std::string& s) {
+    std::uint64_t n = 0;
+    *this >> n;
+    need(n);
+    s.assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return *this;
+  }
+
+  template <typename T>
+  IArchive& operator>>(std::vector<T>& v) {
+    std::uint64_t n = 0;
+    *this >> n;
+    if constexpr (detail::TriviallySerializable<T>) {
+      need(n * sizeof(T));
+      v.resize(n);
+      std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    } else {
+      v.clear();
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        T e;
+        *this >> e;
+        v.push_back(std::move(e));
+      }
+    }
+    return *this;
+  }
+
+  template <typename A, typename B>
+  IArchive& operator>>(std::pair<A, B>& p) {
+    return *this >> p.first >> p.second;
+  }
+
+  IArchive& operator>>(DynBitset& b) {
+    std::uint64_t nbits = 0;
+    *this >> nbits;
+    b = DynBitset(nbits);
+    const std::size_t nbytes = b.wordCount() * sizeof(DynBitset::Word);
+    need(nbytes);
+    std::memcpy(b.data(), buf_.data() + pos_, nbytes);
+    pos_ += nbytes;
+    return *this;
+  }
+
+  template <detail::HasLoad T>
+  IArchive& operator>>(T& t) {
+    t.load(*this);
+    return *this;
+  }
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      throw std::runtime_error("IArchive: truncated message");
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+// Round-trip convenience used by the network layer: value -> bytes.
+template <typename T>
+std::vector<std::uint8_t> toBytes(const T& t) {
+  OArchive a;
+  a << t;
+  return std::move(a).takeBytes();
+}
+
+// bytes -> value. T must be default-constructible.
+template <typename T>
+T fromBytes(std::vector<std::uint8_t> bytes) {
+  IArchive a(std::move(bytes));
+  T t{};
+  a >> t;
+  return t;
+}
+
+}  // namespace yewpar

@@ -1,0 +1,76 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace yewpar {
+
+namespace {
+bool isFlag(const std::string& s) {
+  return s.size() >= 2 && s[0] == '-' &&
+         !(s.size() > 1 && (std::isdigit(static_cast<unsigned char>(s[1])) ||
+                            s[1] == '.'));
+}
+
+std::string stripDashes(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && s[i] == '-') ++i;
+  return s.substr(i);
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!isFlag(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string key = stripDashes(arg);
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      kv_[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag.
+    if (i + 1 < argc && !isFlag(argv[i + 1])) {
+      kv_[key] = argv[++i];
+    } else {
+      kv_[key] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::optional<std::string> Flags::raw(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::getString(const std::string& key,
+                             const std::string& dflt) const {
+  auto v = raw(key);
+  return v ? *v : dflt;
+}
+
+long Flags::getInt(const std::string& key, long dflt) const {
+  auto v = raw(key);
+  if (!v) return dflt;
+  return std::strtol(v->c_str(), nullptr, 10);
+}
+
+double Flags::getDouble(const std::string& key, double dflt) const {
+  auto v = raw(key);
+  if (!v) return dflt;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Flags::getBool(const std::string& key, bool dflt) const {
+  auto v = raw(key);
+  if (!v) return dflt;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+}  // namespace yewpar

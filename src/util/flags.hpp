@@ -1,0 +1,35 @@
+#pragma once
+
+// Minimal command-line flag parser for the example and bench executables.
+// Accepts "--key value", "--key=value" and bare boolean "--key" forms,
+// mirroring the style of YewPar's application drivers
+// (e.g. `maxclique --skeleton depthbounded -d 2 --hpx:threads 4`).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace yewpar {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string getString(const std::string& key, const std::string& dflt) const;
+  long getInt(const std::string& key, long dflt) const;
+  double getDouble(const std::string& key, double dflt) const;
+  bool getBool(const std::string& key, bool dflt = false) const;
+
+  // Non-flag positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace yewpar

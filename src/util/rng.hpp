@@ -1,0 +1,58 @@
+#pragma once
+
+// Deterministic, splittable random number generation.
+//
+// The UTS benchmark (Olivier et al.) derives each child's random state from a
+// SHA-1 hash of the parent's state and the child index, so trees are
+// reproducible irrespective of traversal/parallel order. We substitute a
+// splitmix64-based hash chain, which has the same key property: child state is
+// a pure function of (parent state, child index).
+
+#include <cstdint>
+#include <limits>
+
+namespace yewpar {
+
+// splitmix64 step: advances state and returns a well-mixed 64-bit output.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of two words, used to derive child RNG states.
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+// Small deterministic PRNG satisfying UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return splitmix64(state_); }
+
+  // Unbiased-enough integer in [0, n) for workload generation purposes.
+  std::uint64_t below(std::uint64_t n) { return (*this)() % n; }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace yewpar

@@ -1,0 +1,57 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yewpar {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometricMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double minOf(const std::vector<double>& xs) {
+  return xs.empty() ? 0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(const std::vector<double>& xs) {
+  return xs.empty() ? 0 : *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.geomean = geometricMean(xs);
+  s.median = median(xs);
+  s.stddev = stddev(xs);
+  s.min = minOf(xs);
+  s.max = maxOf(xs);
+  return s;
+}
+
+}  // namespace yewpar

@@ -1,0 +1,32 @@
+#pragma once
+
+// Summary statistics used by the benchmark harnesses. The paper reports
+// geometric means of runtimes/slowdowns/speedups (Tables 1 and 2) and
+// cumulative statistics over repeated runs (Section 5.2); these helpers
+// implement exactly those aggregations.
+
+#include <cstddef>
+#include <vector>
+
+namespace yewpar {
+
+double mean(const std::vector<double>& xs);
+double geometricMean(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+double stddev(const std::vector<double>& xs);
+double minOf(const std::vector<double>& xs);
+double maxOf(const std::vector<double>& xs);
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double geomean = 0;
+  double median = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace yewpar

@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+
+namespace yewpar {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::cell(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+         << (c < r.size() ? r[c] : "");
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(width[c], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+}  // namespace yewpar

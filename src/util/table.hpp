@@ -1,0 +1,26 @@
+#pragma once
+
+// Plain-text table printer. Each benchmark binary regenerates one of the
+// paper's tables/figures; this keeps their output aligned and diffable.
+
+#include <string>
+#include <vector>
+
+namespace yewpar {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+
+  // Fixed-point formatting helper (e.g. cell(1.23456, 2) == "1.23").
+  static std::string cell(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace yewpar

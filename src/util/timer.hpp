@@ -1,0 +1,25 @@
+#pragma once
+
+#include <chrono>
+
+namespace yewpar {
+
+// Wall-clock stopwatch (steady clock; immune to NTP adjustments).
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsedSeconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace yewpar

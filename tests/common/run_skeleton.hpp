@@ -1,0 +1,61 @@
+#pragma once
+
+// Test helper: run any of the four coordinations selected at runtime, so
+// gtest parameterised suites can sweep over skeletons.
+
+#include <string>
+
+#include "core/yewpar.hpp"
+
+namespace yewpar::testing {
+
+enum class Skel { Seq, DepthBounded, StackStealing, Budget, Ordered, RandomSpawn };
+
+inline const char* skelName(Skel s) {
+  switch (s) {
+    case Skel::Seq: return "Sequential";
+    case Skel::DepthBounded: return "DepthBounded";
+    case Skel::Ordered: return "Ordered";
+    case Skel::RandomSpawn: return "RandomSpawn";
+    case Skel::StackStealing: return "StackStealing";
+    case Skel::Budget: return "Budget";
+  }
+  return "?";
+}
+
+template <typename Gen, typename SearchType, typename... Opts>
+auto runSkeleton(Skel s, const Params& p, const typename Gen::Space& space,
+                 const typename Gen::Node& root) {
+  switch (s) {
+    case Skel::DepthBounded:
+      return skeletons::DepthBounded<Gen, SearchType, Opts...>::search(
+          p, space, root);
+    case Skel::StackStealing:
+      return skeletons::StackStealing<Gen, SearchType, Opts...>::search(
+          p, space, root);
+    case Skel::Budget:
+      return skeletons::Budget<Gen, SearchType, Opts...>::search(p, space,
+                                                                 root);
+    case Skel::Ordered:
+      return skeletons::Ordered<Gen, SearchType, Opts...>::search(p, space,
+                                                                  root);
+    case Skel::RandomSpawn:
+      return skeletons::RandomSpawn<Gen, SearchType, Opts...>::search(
+          p, space, root);
+    case Skel::Seq:
+    default:
+      return skeletons::Sequential<Gen, SearchType, Opts...>::search(p, space,
+                                                                     root);
+  }
+}
+
+// All parallel skeletons (sequential is usually the oracle).
+inline constexpr Skel kParallelSkels[] = {Skel::DepthBounded,
+                                          Skel::StackStealing, Skel::Budget,
+                                          Skel::Ordered, Skel::RandomSpawn};
+
+inline constexpr Skel kAllSkels[] = {Skel::Seq, Skel::DepthBounded,
+                                     Skel::StackStealing, Skel::Budget,
+                                     Skel::Ordered, Skel::RandomSpawn};
+
+}  // namespace yewpar::testing

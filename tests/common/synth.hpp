@@ -1,0 +1,66 @@
+#pragma once
+
+// Synthetic search trees used by the core/skeleton tests: complete b-ary
+// trees of a fixed depth, with nodes carrying their depth as the objective
+// (the paper's Section 3.2 "tree depth" example). Every skeleton must agree
+// on node counts, maximal depth, and depth-decision answers.
+
+#include <cstdint>
+
+#include "util/archive.hpp"
+
+namespace yewpar::testing {
+
+struct SynthSpace {
+  std::int32_t branching = 2;
+  std::int32_t maxDepth = 4;
+
+  void save(OArchive& a) const { a << branching << maxDepth; }
+  void load(IArchive& a) { a >> branching >> maxDepth; }
+};
+
+struct SynthNode {
+  std::int32_t d = 0;       // depth of this node
+  std::uint64_t id = 0;     // unique id (path-encoded), for debugging
+
+  std::int64_t getObj() const { return d; }
+  std::int32_t depth() const { return d; }
+
+  void save(OArchive& a) const { a << d << id; }
+  void load(IArchive& a) { a >> d >> id; }
+};
+
+struct SynthGen {
+  using Space = SynthSpace;
+  using Node = SynthNode;
+
+  const Space* space;
+  Node parent;
+  std::int32_t next_ = 0;
+
+  SynthGen(const Space& s, const Node& n) : space(&s), parent(n) {}
+
+  bool hasNext() { return parent.d < space->maxDepth && next_ < space->branching; }
+
+  Node next() {
+    Node child;
+    child.d = parent.d + 1;
+    child.id = parent.id * static_cast<std::uint64_t>(space->branching) +
+               static_cast<std::uint64_t>(next_) + 1;
+    ++next_;
+    return child;
+  }
+};
+
+// Number of nodes in the complete tree: sum_{i=0..d} b^i.
+inline std::uint64_t completeTreeSize(std::uint64_t b, std::uint64_t d) {
+  std::uint64_t total = 0;
+  std::uint64_t level = 1;
+  for (std::uint64_t i = 0; i <= d; ++i) {
+    total += level;
+    level *= b;
+  }
+  return total;
+}
+
+}  // namespace yewpar::testing

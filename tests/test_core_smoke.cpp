@@ -1,0 +1,135 @@
+// End-to-end smoke tests: every skeleton, every search type, on complete
+// synthetic trees where all answers are known in closed form.
+
+#include <gtest/gtest.h>
+
+#include "core/yewpar.hpp"
+#include "common/synth.hpp"
+
+using namespace yewpar;
+using namespace yewpar::testing;
+
+namespace {
+
+using Enum = Enumeration<CountAll>;
+
+Params seqParams() { return Params{}; }
+
+Params parParams(int nLoc, int workers) {
+  Params p;
+  p.nLocalities = nLoc;
+  p.workersPerLocality = workers;
+  p.dcutoff = 2;
+  p.backtrackBudget = 16;
+  return p;
+}
+
+}  // namespace
+
+TEST(CoreSmoke, SequentialEnumerationCountsCompleteTree) {
+  SynthSpace space{3, 5};
+  auto out = skeletons::Sequential<SynthGen, Enum>::search(seqParams(), space,
+                                                           SynthNode{});
+  EXPECT_EQ(out.sum, completeTreeSize(3, 5));
+  EXPECT_EQ(out.metrics.nodesProcessed, completeTreeSize(3, 5));
+  EXPECT_TRUE(out.complete);
+}
+
+TEST(CoreSmoke, SequentialOptimisationFindsMaxDepth) {
+  SynthSpace space{2, 6};
+  auto out = skeletons::Sequential<SynthGen, Optimisation>::search(
+      seqParams(), space, SynthNode{});
+  EXPECT_EQ(out.objective, 6);
+  ASSERT_TRUE(out.incumbent.has_value());
+  EXPECT_EQ(out.incumbent->d, 6);
+}
+
+TEST(CoreSmoke, SequentialDecisionShortCircuits) {
+  SynthSpace space{2, 6};
+  Params p = seqParams();
+  p.decisionTarget = 4;
+  auto out =
+      skeletons::Sequential<SynthGen, Decision>::search(p, space, SynthNode{});
+  EXPECT_TRUE(out.decided);
+  // Short-circuit: a depth-4 node is found after visiting exactly 5 nodes on
+  // the leftmost path.
+  EXPECT_EQ(out.metrics.nodesProcessed, 5u);
+}
+
+TEST(CoreSmoke, DepthBoundedEnumerationMatchesSequential) {
+  SynthSpace space{3, 5};
+  auto out = skeletons::DepthBounded<SynthGen, Enum>::search(
+      parParams(1, 2), space, SynthNode{});
+  EXPECT_EQ(out.sum, completeTreeSize(3, 5));
+}
+
+TEST(CoreSmoke, DepthBoundedTwoLocalities) {
+  SynthSpace space{3, 5};
+  auto out = skeletons::DepthBounded<SynthGen, Enum>::search(
+      parParams(2, 2), space, SynthNode{});
+  EXPECT_EQ(out.sum, completeTreeSize(3, 5));
+}
+
+TEST(CoreSmoke, BudgetEnumerationMatchesSequential) {
+  SynthSpace space{3, 5};
+  auto out = skeletons::Budget<SynthGen, Enum>::search(parParams(1, 2), space,
+                                                       SynthNode{});
+  EXPECT_EQ(out.sum, completeTreeSize(3, 5));
+}
+
+TEST(CoreSmoke, StackStealingEnumerationMatchesSequential) {
+  SynthSpace space{3, 5};
+  auto out = skeletons::StackStealing<SynthGen, Enum>::search(
+      parParams(1, 2), space, SynthNode{});
+  EXPECT_EQ(out.sum, completeTreeSize(3, 5));
+}
+
+TEST(CoreSmoke, ParallelOptimisationFindsMaxDepth) {
+  SynthSpace space{2, 7};
+  {
+    auto out = skeletons::DepthBounded<SynthGen, Optimisation>::search(
+        parParams(1, 2), space, SynthNode{});
+    EXPECT_EQ(out.objective, 7);
+  }
+  {
+    auto out = skeletons::Budget<SynthGen, Optimisation>::search(
+        parParams(1, 2), space, SynthNode{});
+    EXPECT_EQ(out.objective, 7);
+  }
+  {
+    auto out = skeletons::StackStealing<SynthGen, Optimisation>::search(
+        parParams(1, 2), space, SynthNode{});
+    EXPECT_EQ(out.objective, 7);
+  }
+}
+
+TEST(CoreSmoke, ParallelDecisionFindsTarget) {
+  SynthSpace space{2, 7};
+  Params p = parParams(1, 2);
+  p.decisionTarget = 6;
+  {
+    auto out = skeletons::DepthBounded<SynthGen, Decision>::search(
+        p, space, SynthNode{});
+    EXPECT_TRUE(out.decided);
+  }
+  {
+    auto out =
+        skeletons::Budget<SynthGen, Decision>::search(p, space, SynthNode{});
+    EXPECT_TRUE(out.decided);
+  }
+  {
+    auto out = skeletons::StackStealing<SynthGen, Decision>::search(
+        p, space, SynthNode{});
+    EXPECT_TRUE(out.decided);
+  }
+}
+
+TEST(CoreSmoke, DecisionUnreachableTargetVisitsWholeTree) {
+  SynthSpace space{2, 5};
+  Params p = seqParams();
+  p.decisionTarget = 99;
+  auto out =
+      skeletons::Sequential<SynthGen, Decision>::search(p, space, SynthNode{});
+  EXPECT_FALSE(out.decided);
+  EXPECT_EQ(out.metrics.nodesProcessed, completeTreeSize(2, 5));
+}

@@ -1,0 +1,108 @@
+// Knapsack application tests: DP cross-checks, bound admissibility, and
+// agreement of all skeletons.
+
+#include <gtest/gtest.h>
+
+#include "apps/knapsack/knapsack.hpp"
+#include "common/run_skeleton.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::testing;
+
+namespace {
+
+ks::Instance tiny() {
+  ks::Instance inst;
+  inst.profit = {60, 100, 120};
+  inst.weight = {10, 20, 30};
+  inst.capacity = 50;
+  inst.sortByDensity();
+  return inst;
+}
+
+Params parParams() {
+  Params p;
+  p.workersPerLocality = 2;
+  p.dcutoff = 3;
+  p.backtrackBudget = 20;
+  return p;
+}
+
+}  // namespace
+
+TEST(Knapsack, TextbookInstance) {
+  auto inst = tiny();
+  EXPECT_EQ(ks::dpOptimum(inst), 220);
+  auto out = skeletons::Sequential<
+      ks::Gen, Optimisation,
+      BoundFunction<&ks::upperBound>>::search(Params{}, inst, ks::Node{});
+  EXPECT_EQ(out.objective, 220);
+}
+
+TEST(Knapsack, DensitySortIsMonotone) {
+  auto inst = ks::randomInstance(30, 100, 0.5, 5);
+  for (std::size_t i = 1; i < inst.size(); ++i) {
+    // p[i-1]/w[i-1] >= p[i]/w[i]
+    EXPECT_GE(inst.profit[i - 1] * inst.weight[i],
+              inst.profit[i] * inst.weight[i - 1]);
+  }
+}
+
+TEST(Knapsack, BoundDominatesOptimum) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    auto inst = ks::randomInstance(16, 50, 0.5, seed);
+    EXPECT_GE(ks::upperBound(inst, ks::Node{}), ks::dpOptimum(inst));
+  }
+}
+
+TEST(Knapsack, GeneratorSkipsOverweightItems) {
+  ks::Instance inst;
+  inst.profit = {10, 10, 10};
+  inst.weight = {5, 100, 5};
+  inst.capacity = 12;
+  // Note: deliberately not density-sorted; generator must still skip item 1.
+  ks::Gen gen(inst, ks::Node{});
+  std::vector<std::int32_t> seen;
+  while (gen.hasNext()) seen.push_back(gen.next().lastItem);
+  EXPECT_EQ(seen, (std::vector<std::int32_t>{0, 2}));
+}
+
+class KnapsackSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(KnapsackSkeletons, MatchesDpOnRandomInstances) {
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    auto inst = ks::randomInstance(24, 60, 0.5, seed);
+    auto expect = ks::dpOptimum(inst);
+    auto out = runSkeleton<ks::Gen, Optimisation,
+                           BoundFunction<&ks::upperBound>>(
+        GetParam(), parParams(), inst, ks::Node{});
+    EXPECT_EQ(out.objective, expect) << "seed " << seed;
+    // The witness's recomputed profit/weight must be consistent.
+    ASSERT_TRUE(out.incumbent.has_value());
+    std::int64_t profit = 0, weight = 0;
+    for (auto item : out.incumbent->chosen) {
+      profit += inst.profit[static_cast<std::size_t>(item)];
+      weight += inst.weight[static_cast<std::size_t>(item)];
+    }
+    EXPECT_EQ(profit, out.incumbent->profit);
+    EXPECT_LE(weight, inst.capacity);
+  }
+}
+
+TEST_P(KnapsackSkeletons, TwoLocalitiesAgree) {
+  auto inst = ks::randomInstance(22, 60, 0.5, 77);
+  auto expect = ks::dpOptimum(inst);
+  Params p = parParams();
+  p.nLocalities = 2;
+  auto out =
+      runSkeleton<ks::Gen, Optimisation, BoundFunction<&ks::upperBound>>(
+          GetParam(), p, inst, ks::Node{});
+  EXPECT_EQ(out.objective, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, KnapsackSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

@@ -1,0 +1,178 @@
+// Property tests for the executable operational semantics (paper Section 3):
+// Theorems 3.1 (enumeration correctness), 3.2 (optimisation/decision
+// correctness) and 3.3 (termination) under many random rule interleavings
+// and spawn policies.
+
+#include <gtest/gtest.h>
+
+#include "model/semantics.hpp"
+#include "model/tree.hpp"
+#include "util/rng.hpp"
+
+using namespace yewpar;
+using namespace yewpar::model;
+
+namespace {
+
+std::vector<std::int64_t> randomObjectives(const Tree& t, Rng& rng,
+                                           std::int64_t maxVal) {
+  std::vector<std::int64_t> h(static_cast<std::size_t>(t.size()));
+  for (auto& x : h) {
+    x = static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(maxVal)));
+  }
+  return h;
+}
+
+SpawnPolicy allSpawns() {
+  SpawnPolicy p;
+  p.genericSpawn = true;
+  p.spawnDepth = true;
+  p.spawnBudget = true;
+  p.spawnStack = true;
+  return p;
+}
+
+}  // namespace
+
+TEST(ModelTree, PreorderIsTraversalOrder) {
+  Tree t = completeTree(2, 3);
+  EXPECT_EQ(t.size(), 15);
+  // Root before everything, children after parents.
+  for (int v = 1; v < t.size(); ++v) {
+    EXPECT_TRUE(t.before(0, v));
+    EXPECT_TRUE(t.before(t.parent[static_cast<std::size_t>(v)], v));
+    EXPECT_TRUE(t.isPrefix(t.parent[static_cast<std::size_t>(v)], v));
+  }
+}
+
+TEST(ModelTree, NextInOrderWalksWholeTree) {
+  Tree t = completeTree(3, 3);
+  std::set<int> all;
+  for (int v = 0; v < t.size(); ++v) all.insert(v);
+  int v = 0;
+  int count = 1;
+  while (true) {
+    int n = nextInOrder(t, all, v);
+    if (n == -1) break;
+    EXPECT_TRUE(t.before(v, n));
+    v = n;
+    ++count;
+  }
+  EXPECT_EQ(count, t.size());
+}
+
+TEST(ModelTree, SubtreeAndLowest) {
+  Tree t = completeTree(2, 2);  // 7 nodes: 0; 1,4; 2,3,5,6 (preorder)
+  std::set<int> all;
+  for (int v = 0; v < t.size(); ++v) all.insert(v);
+  int c0 = t.children[0][0];
+  auto sub = subtreeOf(t, all, c0);
+  EXPECT_EQ(sub.size(), 3u);  // child + its two leaves
+  // From the root's first child, the lowest successors include the sibling
+  // subtree root (depth 1).
+  auto low = lowestSucc(t, all, c0);
+  ASSERT_FALSE(low.empty());
+  EXPECT_EQ(t.depth[static_cast<std::size_t>(low.front())], 1);
+  EXPECT_EQ(nextLowest(t, all, c0), t.children[0][1]);
+}
+
+TEST(ModelSemantics, Theorem31EnumerationSequential) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = randomTree(rng, 40 + static_cast<int>(rng.below(60)), 4);
+    auto h = randomObjectives(t, rng, 10);
+    Semantics sem(t, SearchKind::Enumeration, h);
+    SpawnPolicy noSpawn;  // single thread, no spawning: plain backtracking
+    auto c = sem.run(1, rng, noSpawn);
+    EXPECT_EQ(c.acc, sem.expectedSum());
+  }
+}
+
+TEST(ModelSemantics, Theorem31EnumerationParallelAllSpawnRules) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree t = randomTree(rng, 30 + static_cast<int>(rng.below(80)), 4);
+    auto h = randomObjectives(t, rng, 10);
+    Semantics sem(t, SearchKind::Enumeration, h);
+    auto c = sem.run(1 + static_cast<int>(rng.below(4)), rng, allSpawns());
+    EXPECT_EQ(c.acc, sem.expectedSum()) << "trial " << trial;
+  }
+}
+
+TEST(ModelSemantics, Theorem32OptimisationWithPruning) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree t = randomTree(rng, 30 + static_cast<int>(rng.below(80)), 4);
+    auto h = randomObjectives(t, rng, 50);
+    Semantics sem(t, SearchKind::Optimisation, h);
+    auto c = sem.run(1 + static_cast<int>(rng.below(4)), rng, allSpawns());
+    ASSERT_GE(c.incumbent, 0);
+    EXPECT_EQ(sem.objValue(c.incumbent), sem.expectedMax()) << "trial "
+                                                            << trial;
+  }
+}
+
+TEST(ModelSemantics, Theorem32DecisionReachesTargetOrProvesAbsence) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree t = randomTree(rng, 30 + static_cast<int>(rng.below(60)), 4);
+    auto h = randomObjectives(t, rng, 20);
+    const std::int64_t target = 10;
+    Semantics sem(t, SearchKind::Decision, h, target);
+    auto c = sem.run(1 + static_cast<int>(rng.below(3)), rng, allSpawns());
+    ASSERT_GE(c.incumbent, 0);
+    // With values cut off at the target, the theorem says the incumbent
+    // attains max h' (== target iff some node reaches the target).
+    EXPECT_EQ(sem.objValue(c.incumbent), sem.expectedMax());
+    if (c.shortcircuited) {
+      EXPECT_EQ(sem.objValue(c.incumbent), target);
+    }
+  }
+}
+
+TEST(ModelSemantics, Theorem33TerminationUnderAllPolicies) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tree t = randomTree(rng, 100, 5);
+    auto h = randomObjectives(t, rng, 10);
+    Semantics sem(t, SearchKind::Optimisation, h);
+    // run() throws if the step bound is exceeded; reaching here means every
+    // interleaving terminated.
+    auto c = sem.run(3, rng, allSpawns());
+    EXPECT_TRUE(c.isFinal());
+    EXPECT_GT(c.steps, 0u);
+  }
+}
+
+TEST(ModelSemantics, PruningNeverChangesOptimum) {
+  // Same tree searched with pruning fired eagerly vs never: same optimum.
+  Rng rng(6);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree t = randomTree(rng, 80, 4);
+    auto h = randomObjectives(t, rng, 40);
+    Semantics sem(t, SearchKind::Optimisation, h);
+    SpawnPolicy eager = allSpawns();
+    eager.pruneWeight = 100;
+    SpawnPolicy none = allSpawns();
+    none.pruneWeight = 0;
+    auto c1 = sem.run(2, rng, eager);
+    auto c2 = sem.run(2, rng, none);
+    EXPECT_EQ(sem.objValue(c1.incumbent), sem.objValue(c2.incumbent));
+  }
+}
+
+TEST(ModelSemantics, SpawnDepthMatchesDepthBoundedShape) {
+  // With only (spawn-depth) enabled, every node above the cutoff that is
+  // reached while tasks exist spawns its children; the search must still
+  // visit every node exactly once (sum of h(v)=1 equals tree size).
+  Rng rng(7);
+  Tree t = completeTree(3, 4);
+  std::vector<std::int64_t> ones(static_cast<std::size_t>(t.size()), 1);
+  Semantics sem(t, SearchKind::Enumeration, ones);
+  SpawnPolicy p;
+  p.spawnDepth = true;
+  p.dcutoff = 2;
+  auto c = sem.run(4, rng, p);
+  EXPECT_EQ(c.acc, t.size());
+}

@@ -1,0 +1,172 @@
+// Cross-validation of the executable semantics (src/model) against the
+// skeleton library (src/core): wrap a materialised model tree in a Lazy
+// Node Generator and check that every skeleton computes exactly the fold
+// that the semantics (and a direct tree walk) computes - enumeration sums,
+// optimisation maxima, and decision answers.
+
+#include <gtest/gtest.h>
+
+#include "common/run_skeleton.hpp"
+#include "model/semantics.hpp"
+#include "model/tree.hpp"
+#include "util/rng.hpp"
+
+using namespace yewpar;
+using namespace yewpar::model;
+using namespace yewpar::testing;
+
+namespace {
+
+// The materialised tree plus per-node objective values, as a search Space.
+struct TreeSpace {
+  // Flattened tree: children lists and objectives, serializable so the
+  // engine can replicate it across localities.
+  std::vector<std::vector<std::int32_t>> children;
+  std::vector<std::int64_t> h;
+
+  void save(OArchive& a) const {
+    a << static_cast<std::uint64_t>(children.size());
+    for (const auto& c : children) a << c;
+    a << h;
+  }
+  void load(IArchive& a) {
+    std::uint64_t n = 0;
+    a >> n;
+    children.resize(n);
+    for (auto& c : children) a >> c;
+    a >> h;
+  }
+
+  static TreeSpace fromTree(const Tree& t, std::vector<std::int64_t> h) {
+    TreeSpace s;
+    s.children.resize(static_cast<std::size_t>(t.size()));
+    for (int v = 0; v < t.size(); ++v) {
+      for (int c : t.children[static_cast<std::size_t>(v)]) {
+        s.children[static_cast<std::size_t>(v)].push_back(c);
+      }
+    }
+    s.h = std::move(h);
+    return s;
+  }
+};
+
+struct TreeNode {
+  std::int32_t id = 0;
+
+  std::int64_t getObj() const { return obj; }
+  std::int64_t obj = 0;
+
+  void save(OArchive& a) const { a << id << obj; }
+  void load(IArchive& a) { a >> id >> obj; }
+};
+
+struct TreeGen {
+  using Space = TreeSpace;
+  using Node = TreeNode;
+
+  const Space* space;
+  std::int32_t parent;
+  std::size_t idx = 0;
+
+  TreeGen(const Space& s, const Node& n) : space(&s), parent(n.id) {}
+
+  bool hasNext() const {
+    return idx < space->children[static_cast<std::size_t>(parent)].size();
+  }
+
+  Node next() {
+    Node child;
+    child.id = space->children[static_cast<std::size_t>(parent)][idx++];
+    child.obj = space->h[static_cast<std::size_t>(child.id)];
+    return child;
+  }
+};
+
+struct ObjSum {
+  using M = CountMonoid;
+  static M::Value eval(const TreeSpace& s, const TreeNode& n) {
+    return static_cast<M::Value>(s.h[static_cast<std::size_t>(n.id)]);
+  }
+};
+
+Params parParams() {
+  Params p;
+  p.nLocalities = 2;
+  p.workersPerLocality = 2;
+  p.dcutoff = 2;
+  p.backtrackBudget = 10;
+  return p;
+}
+
+}  // namespace
+
+class ModelVsSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(ModelVsSkeletons, EnumerationMatchesSemanticsFold) {
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree t = randomTree(rng, 60 + static_cast<int>(rng.below(60)), 4);
+    std::vector<std::int64_t> h(static_cast<std::size_t>(t.size()));
+    for (auto& x : h) x = static_cast<std::int64_t>(rng.below(10));
+    Semantics sem(t, SearchKind::Enumeration, h);
+    auto space = TreeSpace::fromTree(t, h);
+    TreeNode root{};
+    root.obj = h[0];
+
+    auto out = runSkeleton<TreeGen, Enumeration<ObjSum>>(GetParam(),
+                                                         parParams(), space,
+                                                         root);
+    EXPECT_EQ(static_cast<std::int64_t>(out.sum), sem.expectedSum())
+        << "trial " << trial;
+
+    // The semantics driver agrees too (Theorem 3.1 and the implementation
+    // compute the same fold).
+    SpawnPolicy pol;
+    pol.spawnDepth = true;
+    auto cfg = sem.run(2, rng, pol);
+    EXPECT_EQ(cfg.acc, static_cast<std::int64_t>(out.sum));
+  }
+}
+
+TEST_P(ModelVsSkeletons, OptimisationMatchesSemanticsMax) {
+  Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree t = randomTree(rng, 50 + static_cast<int>(rng.below(80)), 4);
+    std::vector<std::int64_t> h(static_cast<std::size_t>(t.size()));
+    for (auto& x : h) x = static_cast<std::int64_t>(rng.below(100));
+    Semantics sem(t, SearchKind::Optimisation, h);
+    auto space = TreeSpace::fromTree(t, h);
+    TreeNode root{};
+    root.obj = h[0];
+
+    auto out = runSkeleton<TreeGen, Optimisation>(GetParam(), parParams(),
+                                                  space, root);
+    EXPECT_EQ(out.objective, sem.expectedMax()) << "trial " << trial;
+  }
+}
+
+TEST_P(ModelVsSkeletons, DecisionMatchesSemantics) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tree t = randomTree(rng, 60, 3);
+    std::vector<std::int64_t> h(static_cast<std::size_t>(t.size()));
+    for (auto& x : h) x = static_cast<std::int64_t>(rng.below(30));
+    const std::int64_t target = 25;
+    Params p = parParams();
+    p.decisionTarget = target;
+    auto space = TreeSpace::fromTree(t, h);
+    TreeNode root{};
+    root.obj = h[0];
+
+    auto out = runSkeleton<TreeGen, Decision>(GetParam(), p, space, root);
+    bool expect = false;
+    for (auto x : h) expect = expect || x >= target;
+    EXPECT_EQ(out.decided, expect) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, ModelVsSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

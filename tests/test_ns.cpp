@@ -1,0 +1,98 @@
+// Numerical Semigroups tests: the semigroup-tree generator against the
+// published genus counts (OEIS A007323), minimal-generator logic, and
+// skeleton agreement.
+
+#include <gtest/gtest.h>
+
+#include "apps/ns/ns.hpp"
+#include "common/run_skeleton.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::testing;
+
+namespace {
+
+Params parParams() {
+  Params p;
+  p.workersPerLocality = 2;
+  p.dcutoff = 3;
+  p.backtrackBudget = 50;
+  return p;
+}
+
+}  // namespace
+
+TEST(Ns, RootIsN) {
+  auto space = ns::makeSpace(5);
+  auto root = ns::rootNode(space);
+  EXPECT_EQ(root.genus, 0);
+  EXPECT_EQ(root.frobenius, -1);
+  EXPECT_EQ(root.members.count(), static_cast<std::size_t>(space.limit));
+}
+
+TEST(Ns, MinimalGeneratorsOfN) {
+  auto space = ns::makeSpace(5);
+  auto root = ns::rootNode(space);
+  // In N, 1 is the only minimal generator (every g >= 2 is 1 + (g-1)).
+  EXPECT_TRUE(ns::isMinimalGenerator(root, 1));
+  for (std::int32_t g = 2; g < space.limit; ++g) {
+    EXPECT_FALSE(ns::isMinimalGenerator(root, g)) << g;
+  }
+}
+
+TEST(Ns, FirstLevels) {
+  auto space = ns::makeSpace(5);
+  auto root = ns::rootNode(space);
+  ns::Gen gen(space, root);
+  ASSERT_TRUE(gen.hasNext());
+  auto s1 = gen.next();  // N \ {1} = <2,3>
+  EXPECT_FALSE(gen.hasNext());
+  EXPECT_EQ(s1.genus, 1);
+  EXPECT_EQ(s1.frobenius, 1);
+  // <2,3> has minimal generators 2 and 3, both > frobenius 1: two children.
+  ns::Gen gen1(space, s1);
+  int children = 0;
+  while (gen1.hasNext()) {
+    auto c = gen1.next();
+    EXPECT_EQ(c.genus, 2);
+    ++children;
+  }
+  EXPECT_EQ(children, 2);
+}
+
+TEST(Ns, KnownCountsTable) {
+  EXPECT_EQ(ns::knownGenusCount(0), 1u);
+  EXPECT_EQ(ns::knownGenusCount(7), 39u);
+  EXPECT_EQ(ns::knownGenusCount(15), 2857u);
+  EXPECT_EQ(ns::knownGenusCount(22), 103246u);
+}
+
+class NsSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(NsSkeletons, GenusCountsMatchOEIS) {
+  const std::int32_t maxGenus = 9;
+  auto space = ns::makeSpace(maxGenus);
+  auto out = runSkeleton<ns::Gen, Enumeration<CountByDepth>>(
+      GetParam(), parParams(), space, ns::rootNode(space));
+  ASSERT_EQ(out.sum.size(), static_cast<std::size_t>(maxGenus) + 1);
+  for (std::int32_t g = 0; g <= maxGenus; ++g) {
+    EXPECT_EQ(out.sum[static_cast<std::size_t>(g)], ns::knownGenusCount(g))
+        << "genus " << g;
+  }
+}
+
+TEST_P(NsSkeletons, TwoLocalitiesAgree) {
+  auto space = ns::makeSpace(8);
+  Params p = parParams();
+  p.nLocalities = 2;
+  auto out = runSkeleton<ns::Gen, Enumeration<CountByDepth>>(
+      GetParam(), p, space, ns::rootNode(space));
+  EXPECT_EQ(out.sum[8], ns::knownGenusCount(8));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, NsSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

@@ -1,0 +1,126 @@
+// SIP application tests: brute-force oracle, guaranteed-satisfiable
+// instances, and agreement of all skeletons on the decision answer.
+
+#include <gtest/gtest.h>
+
+#include "apps/sip/sip.hpp"
+#include "common/run_skeleton.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::testing;
+
+namespace {
+
+Params decParams(std::int64_t target) {
+  Params p;
+  p.workersPerLocality = 2;
+  p.dcutoff = 2;
+  p.backtrackBudget = 30;
+  p.decisionTarget = target;
+  return p;
+}
+
+// Verify a complete mapping is a subgraph isomorphism.
+bool validMapping(const sip::Instance& inst, const sip::Node& n) {
+  if (n.mapping.size() != inst.pattern.size()) return false;
+  for (std::size_t i = 0; i < inst.pattern.size(); ++i) {
+    for (std::size_t j = i + 1; j < inst.pattern.size(); ++j) {
+      const auto pi = static_cast<std::size_t>(inst.order[i]);
+      const auto pj = static_cast<std::size_t>(inst.order[j]);
+      if (inst.pattern.hasEdge(pi, pj) &&
+          !inst.target.hasEdge(static_cast<std::size_t>(n.mapping[i]),
+                               static_cast<std::size_t>(n.mapping[j]))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Sip, TriangleInTriangle) {
+  sip::Instance inst;
+  inst.pattern = Graph(3);
+  inst.pattern.addEdge(0, 1);
+  inst.pattern.addEdge(1, 2);
+  inst.pattern.addEdge(0, 2);
+  inst.target = inst.pattern;
+  inst.finalize();
+  EXPECT_TRUE(bruteForceSip(inst));
+  auto out = skeletons::Sequential<sip::Gen, Decision>::search(
+      decParams(3), inst, sip::rootNode(inst));
+  EXPECT_TRUE(out.decided);
+  ASSERT_TRUE(out.incumbent.has_value());
+  EXPECT_TRUE(validMapping(inst, *out.incumbent));
+}
+
+TEST(Sip, TriangleNotInPath) {
+  sip::Instance inst;
+  inst.pattern = Graph(3);
+  inst.pattern.addEdge(0, 1);
+  inst.pattern.addEdge(1, 2);
+  inst.pattern.addEdge(0, 2);
+  inst.target = Graph(5);
+  inst.target.addEdge(0, 1);
+  inst.target.addEdge(1, 2);
+  inst.target.addEdge(2, 3);
+  inst.target.addEdge(3, 4);
+  inst.finalize();
+  EXPECT_FALSE(bruteForceSip(inst));
+  auto out = skeletons::Sequential<sip::Gen, Decision>::search(
+      decParams(3), inst, sip::rootNode(inst));
+  EXPECT_FALSE(out.decided);
+}
+
+TEST(Sip, SatInstancesAreSatisfiable) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto inst = sip::satInstance(20, 0.4, 6, seed);
+    EXPECT_TRUE(bruteForceSip(inst)) << "seed " << seed;
+  }
+}
+
+class SipSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(SipSkeletons, AgreesWithBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto inst = sip::randomInstance(5, 0.6, 14, 0.5, seed);
+    const bool expect = bruteForceSip(inst);
+    auto out = runSkeleton<sip::Gen, Decision>(
+        GetParam(),
+        decParams(static_cast<std::int64_t>(inst.pattern.size())), inst,
+        sip::rootNode(inst));
+    EXPECT_EQ(out.decided, expect) << "seed " << seed;
+    if (out.decided) {
+      ASSERT_TRUE(out.incumbent.has_value());
+      EXPECT_TRUE(validMapping(inst, *out.incumbent));
+    }
+  }
+}
+
+TEST_P(SipSkeletons, FindsPlantedPattern) {
+  auto inst = sip::satInstance(24, 0.4, 7, 9);
+  auto out = runSkeleton<sip::Gen, Decision>(
+      GetParam(), decParams(static_cast<std::int64_t>(inst.pattern.size())),
+      inst, sip::rootNode(inst));
+  EXPECT_TRUE(out.decided);
+  ASSERT_TRUE(out.incumbent.has_value());
+  EXPECT_TRUE(validMapping(inst, *out.incumbent));
+}
+
+TEST_P(SipSkeletons, TwoLocalitiesAgree) {
+  auto inst = sip::satInstance(18, 0.45, 6, 31);
+  Params p = decParams(static_cast<std::int64_t>(inst.pattern.size()));
+  p.nLocalities = 2;
+  auto out =
+      runSkeleton<sip::Gen, Decision>(GetParam(), p, inst,
+                                      sip::rootNode(inst));
+  EXPECT_TRUE(out.decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, SipSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

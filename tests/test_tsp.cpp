@@ -1,0 +1,150 @@
+// TSP application tests: Held-Karp cross-checks, bound admissibility,
+// TSPLIB parsing, and agreement of all skeletons.
+
+#include <gtest/gtest.h>
+
+#include "apps/tsp/tsp.hpp"
+#include "apps/tsp/tsplib.hpp"
+#include "common/run_skeleton.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::testing;
+
+namespace {
+
+Params parParams() {
+  Params p;
+  p.workersPerLocality = 2;
+  p.dcutoff = 2;
+  p.backtrackBudget = 30;
+  return p;
+}
+
+tsp::Instance square() {
+  // 4 cities on a unit square scaled by 10: optimal tour = perimeter 40.
+  tsp::Instance inst;
+  inst.n = 4;
+  inst.dist = {0,  10, 14, 10,
+               10, 0,  10, 14,
+               14, 10, 0,  10,
+               10, 14, 10, 0};
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace
+
+TEST(Tsp, SquareInstance) {
+  auto inst = square();
+  EXPECT_EQ(tsp::heldKarp(inst), 40);
+  auto out = skeletons::Sequential<
+      tsp::Gen, Optimisation,
+      BoundFunction<&tsp::upperBound>>::search(Params{}, inst,
+                                               tsp::rootNode(inst));
+  EXPECT_EQ(-out.objective, 40);
+  ASSERT_TRUE(out.incumbent.has_value());
+  EXPECT_TRUE(out.incumbent->completeTour);
+  EXPECT_EQ(out.incumbent->path.size(), 4u);
+}
+
+TEST(Tsp, NearestFirstChildOrder) {
+  auto inst = tsp::randomEuclidean(8, 3);
+  tsp::Gen gen(inst, tsp::rootNode(inst));
+  std::int32_t prev = -1;
+  while (gen.hasNext()) {
+    auto child = gen.next();
+    auto city = child.path.back();
+    if (prev != -1) {
+      EXPECT_LE(inst.d(0, prev), inst.d(0, city));
+    }
+    prev = city;
+  }
+}
+
+TEST(Tsp, BoundIsAdmissible) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    auto inst = tsp::randomEuclidean(9, seed);
+    auto optimal = tsp::heldKarp(inst);
+    // Root bound must not exceed the optimal tour cost (negated ordering).
+    EXPECT_GE(tsp::upperBound(inst, tsp::rootNode(inst)), -optimal * 1);
+    EXPECT_LE(-tsp::upperBound(inst, tsp::rootNode(inst)), optimal);
+  }
+}
+
+class TspSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(TspSkeletons, MatchesHeldKarp) {
+  for (std::uint64_t seed : {5ULL, 6ULL}) {
+    auto inst = tsp::randomEuclidean(10, seed);
+    auto expect = tsp::heldKarp(inst);
+    auto out = runSkeleton<tsp::Gen, Optimisation,
+                           BoundFunction<&tsp::upperBound>>(
+        GetParam(), parParams(), inst, tsp::rootNode(inst));
+    EXPECT_EQ(-out.objective, expect) << "seed " << seed;
+    ASSERT_TRUE(out.incumbent.has_value());
+    EXPECT_TRUE(out.incumbent->completeTour);
+    // Recompute the tour cost from the path.
+    const auto& path = out.incumbent->path;
+    std::int64_t cost = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      cost += inst.d(path[i], path[i + 1]);
+    }
+    cost += inst.d(path.back(), path.front());
+    EXPECT_EQ(cost, -out.objective);
+  }
+}
+
+TEST_P(TspSkeletons, TwoLocalitiesAgree) {
+  auto inst = tsp::randomEuclidean(9, 42);
+  auto expect = tsp::heldKarp(inst);
+  Params p = parParams();
+  p.nLocalities = 2;
+  auto out =
+      runSkeleton<tsp::Gen, Optimisation, BoundFunction<&tsp::upperBound>>(
+          GetParam(), p, inst, tsp::rootNode(inst));
+  EXPECT_EQ(-out.objective, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, TspSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });
+
+TEST(Tsplib, ParsesEuc2d) {
+  const std::string text =
+      "NAME : square4\n"
+      "TYPE : TSP\n"
+      "DIMENSION : 4\n"
+      "EDGE_WEIGHT_TYPE : EUC_2D\n"
+      "NODE_COORD_SECTION\n"
+      "1 0 0\n"
+      "2 0 10\n"
+      "3 10 10\n"
+      "4 10 0\n"
+      "EOF\n";
+  auto inst = tsp::parseTsplibText(text);
+  EXPECT_EQ(inst.n, 4);
+  EXPECT_EQ(inst.d(0, 1), 10);
+  EXPECT_EQ(inst.d(0, 2), 14);  // sqrt(200) rounded
+  EXPECT_EQ(tsp::heldKarp(inst), 40);
+  auto out = skeletons::Sequential<
+      tsp::Gen, Optimisation,
+      BoundFunction<&tsp::upperBound>>::search(Params{}, inst,
+                                               tsp::rootNode(inst));
+  EXPECT_EQ(-out.objective, 40);
+}
+
+TEST(Tsplib, RejectsUnsupportedAndMalformed) {
+  EXPECT_THROW(tsp::parseTsplibText("DIMENSION : 3\n"
+                                    "EDGE_WEIGHT_TYPE : EXPLICIT\n"
+                                    "NODE_COORD_SECTION\n"),
+               std::runtime_error);
+  EXPECT_THROW(tsp::parseTsplibText(""), std::runtime_error);
+  EXPECT_THROW(tsp::parseTsplibText("DIMENSION : 2\n"
+                                    "EDGE_WEIGHT_TYPE : EUC_2D\n"
+                                    "NODE_COORD_SECTION\n"
+                                    "1 0\n"),
+               std::runtime_error);
+}

@@ -1,0 +1,221 @@
+// Unit tests for the util substrate: bitset, rng, archive, flags, stats.
+
+#include <gtest/gtest.h>
+
+#include "util/archive.hpp"
+#include "util/bitset.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <sstream>
+
+using namespace yewpar;
+
+TEST(Bitset, SetTestResetCount) {
+  DynBitset b(130);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.setAll();
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_EQ(b.findLast(), 69u);
+}
+
+TEST(Bitset, FindFirstNextLast) {
+  DynBitset b(200);
+  EXPECT_EQ(b.findFirst(), DynBitset::npos);
+  b.set(5);
+  b.set(63);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.findFirst(), 5u);
+  EXPECT_EQ(b.findNext(5), 63u);
+  EXPECT_EQ(b.findNext(63), 64u);
+  EXPECT_EQ(b.findNext(64), 199u);
+  EXPECT_EQ(b.findNext(199), DynBitset::npos);
+  EXPECT_EQ(b.findLast(), 199u);
+}
+
+TEST(Bitset, AndOrAndNot) {
+  DynBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  a.set(99);
+  b.set(50);
+  b.set(99);
+  b.set(2);
+  DynBitset i = a & b;
+  EXPECT_EQ(i.count(), 2u);
+  EXPECT_TRUE(i.test(50));
+  EXPECT_TRUE(i.test(99));
+  DynBitset u = a | b;
+  EXPECT_EQ(u.count(), 4u);
+  DynBitset d = a;
+  d.andNot(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, SubsetAndIntersects) {
+  DynBitset a(64), b(64);
+  a.set(3);
+  b.set(3);
+  b.set(5);
+  EXPECT_TRUE(a.isSubsetOf(b));
+  EXPECT_FALSE(b.isSubsetOf(a));
+  EXPECT_TRUE(a.intersects(b));
+  DynBitset c(64);
+  c.set(10);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, ForEachAscending) {
+  DynBitset b(150);
+  b.set(149);
+  b.set(0);
+  b.set(77);
+  std::vector<std::size_t> seen;
+  b.forEach([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 77, 149}));
+  EXPECT_EQ(b.toVector(), seen);
+}
+
+TEST(Rng, DeterministicAndSplittable) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  // mix64 is a pure function.
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Archive, RoundTripPrimitives) {
+  OArchive oa;
+  oa << std::int32_t{-42} << std::uint64_t{1234567890123ULL} << 3.5
+     << std::string("hello world") << true;
+  IArchive ia(std::move(oa).takeBytes());
+  std::int32_t i;
+  std::uint64_t u;
+  double d;
+  std::string s;
+  bool b;
+  ia >> i >> u >> d >> s >> b;
+  EXPECT_EQ(i, -42);
+  EXPECT_EQ(u, 1234567890123ULL);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_EQ(s, "hello world");
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(ia.exhausted());
+}
+
+TEST(Archive, RoundTripContainersAndBitset) {
+  std::vector<std::int64_t> v{1, -2, 3};
+  std::vector<std::string> vs{"a", "", "long string here"};
+  DynBitset bits(97);
+  bits.set(0);
+  bits.set(96);
+  OArchive oa;
+  oa << v << vs << bits << std::pair<std::int32_t, std::string>{9, "x"};
+  IArchive ia(std::move(oa).takeBytes());
+  std::vector<std::int64_t> v2;
+  std::vector<std::string> vs2;
+  DynBitset bits2;
+  std::pair<std::int32_t, std::string> p2;
+  ia >> v2 >> vs2 >> bits2 >> p2;
+  EXPECT_EQ(v2, v);
+  EXPECT_EQ(vs2, vs);
+  EXPECT_TRUE(bits2 == bits);
+  EXPECT_EQ(p2.first, 9);
+  EXPECT_EQ(p2.second, "x");
+}
+
+TEST(Archive, TruncatedInputThrows) {
+  OArchive oa;
+  oa << std::int64_t{1};
+  auto bytes = std::move(oa).takeBytes();
+  bytes.pop_back();
+  IArchive ia(std::move(bytes));
+  std::int64_t x;
+  EXPECT_THROW(ia >> x, std::runtime_error);
+}
+
+TEST(Flags, ParsesAllForms) {
+  // Note: a bare flag directly followed by a non-flag token ("--chunked
+  // input.clq") would consume the token as its value, so boolean flags use
+  // the --key=value form (or come last) when positionals are present.
+  const char* argv[] = {"prog",           "--skeleton", "budget",
+                        "--budget=100",   "input.clq",  "-d",
+                        "2",              "--chunked"};
+  Flags f(8, argv);
+  EXPECT_EQ(f.getString("skeleton", ""), "budget");
+  EXPECT_EQ(f.getInt("budget", 0), 100);
+  EXPECT_TRUE(f.getBool("chunked"));
+  EXPECT_EQ(f.getInt("d", 0), 2);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "input.clq");
+  EXPECT_EQ(f.getInt("missing", 7), 7);
+}
+
+TEST(Flags, BoolEqualsForm) {
+  const char* argv[] = {"prog", "--chunked=true", "pos"};
+  Flags f(3, argv);
+  EXPECT_TRUE(f.getBool("chunked"));
+  ASSERT_EQ(f.positional().size(), 1u);
+}
+
+TEST(Flags, NegativeNumberIsValue) {
+  const char* argv[] = {"prog", "--offset", "-5"};
+  Flags f(3, argv);
+  EXPECT_EQ(f.getInt("offset", 0), -5);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({1, 4}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({2, 2, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(Stats, Summary) {
+  auto s = summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.addRow({"x", TablePrinter::cell(1.23456, 2)});
+  t.addRow({"longer-name", "42"});
+  std::ostringstream os;
+  t.print(os);
+  auto out = os.str();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
