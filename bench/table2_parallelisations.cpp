@@ -13,6 +13,7 @@
 // *spread* (worst << best for parameterised skeletons, Stack-Stealing
 // tightest) and the per-application parameter sensitivity.
 
+#include <cassert>
 #include <cstdio>
 #include <iostream>
 
@@ -74,8 +75,12 @@ SweepRow sweep(Skel skel, double seqTime, RunFn&& runFn, Rng& rng) {
         addRun(p);
       }
       break;
-    case Skel::Seq: break;
+    // Sequential and Ordered are not swept by this table.
+    case Skel::Seq:
+    case Skel::Ordered:
+      break;
   }
+  assert(!speedups.empty() && "sweep() called with an unswept skeleton");
   SweepRow row;
   row.worst = minOf(speedups);
   row.best = maxOf(speedups);

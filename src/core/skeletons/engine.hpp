@@ -24,6 +24,7 @@
 #include "runtime/channel.hpp"
 #include "runtime/locality.hpp"
 #include "runtime/network.hpp"
+#include "runtime/steal_slot.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/worker_team.hpp"
 #include "runtime/workpool.hpp"
@@ -147,21 +148,42 @@ class EngineCtx {
     return r >= id() ? r + 1 : r;
   }
 
+  // A steal reply: the echoed request token (so the thief's steal slot can
+  // tell a current reply from a stale one) plus zero or more tasks (empty
+  // = NACK).
+  struct StealReply {
+    std::int64_t token = 0;
+    std::vector<Task> tasks;
+
+    void save(OArchive& a) const { a << token << tasks; }
+    void load(IArchive& a) { a >> token >> tasks; }
+  };
+
+  // A queued remote stack-steal request awaiting a victim worker.
+  struct PendingSteal {
+    int origin = 0;
+    std::int64_t token = 0;
+  };
+
   // Ask a random remote locality's workpool for a task (Depth-Bounded /
   // Budget idle path). At most one request in flight per locality; a stuck
   // request expires after kStealTimeout.
   void requestRemotePoolSteal(Rng& rng) {
     if (params_.nLocalities < 2) return;
-    if (!tryAcquireStealSlot()) return;
-    locality_.send(randomPeer(rng), rt::tag::kPoolStealRequest, {});
+    auto token = stealSlot_.tryAcquire();
+    if (!token) return;
+    locality_.send(randomPeer(rng), rt::tag::kPoolStealRequest,
+                   toBytes(*token));
   }
 
   // Ask a random remote locality for a stack steal (Stack-Stealing idle path
   // when no local worker is busy).
   void requestRemoteStackSteal(Rng& rng) {
     if (params_.nLocalities < 2) return;
-    if (!tryAcquireStealSlot()) return;
-    locality_.send(randomPeer(rng), rt::tag::kStackStealRequest, {});
+    auto token = stealSlot_.tryAcquire();
+    if (!token) return;
+    locality_.send(randomPeer(rng), rt::tag::kStackStealRequest,
+                   toBytes(*token));
   }
 
   // Remote steal requests waiting to be answered by one of this locality's
@@ -171,18 +193,20 @@ class EngineCtx {
     return pendingRemoteCount_.load(std::memory_order_relaxed) > 0;
   }
 
-  std::optional<int> takePendingRemoteSteal() {
-    auto origin = pendingRemoteSteals_.tryPop();
-    if (origin) pendingRemoteCount_.fetch_sub(1, std::memory_order_relaxed);
-    return origin;
+  std::optional<PendingSteal> takePendingRemoteSteal() {
+    auto req = pendingRemoteSteals_.tryPop();
+    if (req) pendingRemoteCount_.fetch_sub(1, std::memory_order_relaxed);
+    return req;
   }
 
-  // Victim side: send `tasks` (possibly empty = NACK) to `origin`.
-  void answerRemoteSteal(int origin, std::vector<Task> tasks) {
+  // Victim side: send `tasks` (possibly empty = NACK) to `req.origin`,
+  // echoing the thief's request token.
+  void answerRemoteSteal(const PendingSteal& req, std::vector<Task> tasks) {
     if (!tasks.empty()) {
       term_.taskCreated(tasks.size());
     }
-    locality_.send(origin, rt::tag::kStackStealReply, toBytes(tasks));
+    locality_.send(req.origin, rt::tag::kStackStealReply,
+                   toBytes(StealReply{req.token, std::move(tasks)}));
   }
 
   std::atomic<int>& busyWorkers() { return busyWorkers_; }
@@ -190,24 +214,24 @@ class EngineCtx {
  private:
   static constexpr auto kStealTimeout = 5ms;
 
-  bool tryAcquireStealSlot() {
-    auto now = std::chrono::steady_clock::now().time_since_epoch().count();
-    if (stealInFlight_.exchange(true, std::memory_order_acq_rel)) {
-      // Someone else's request is outstanding; expire it if it looks lost.
-      auto sentAt = stealSentAt_.load(std::memory_order_relaxed);
-      if (now - sentAt >
-          std::chrono::nanoseconds(kStealTimeout).count()) {
-        stealSentAt_.store(now, std::memory_order_relaxed);
-        return true;
-      }
-      return false;
+  // Thief side: a steal reply arrived (from either steal protocol; both
+  // share the single in-flight slot). Expiry and takeover semantics live in
+  // rt::StealSlot: exactly one thief wins an expired slot, and a stale
+  // reply's token no longer matches, so it cannot free the slot while the
+  // renewed request is outstanding.
+  void onStealReply(rt::Message&& m) {
+    auto reply = fromBytes<StealReply>(std::move(m.payload));
+    stealSlot_.release(reply.token);
+    if (reply.tasks.empty()) {
+      reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    stealSentAt_.store(now, std::memory_order_relaxed);
-    return true;
-  }
-
-  void releaseStealSlot() {
-    stealInFlight_.store(false, std::memory_order_release);
+    reg_.metrics.remoteSteals.fetch_add(reply.tasks.size(),
+                                        std::memory_order_relaxed);
+    for (auto& t : reply.tasks) {
+      int depth = t.depth;
+      pool_->push(std::move(t), depth);
+    }
   }
 
   void registerHandlers() {
@@ -229,58 +253,40 @@ class EngineCtx {
     // answers directly; pools are thread-safe.
     locality_.registerHandler(
         rt::tag::kPoolStealRequest, [this](rt::Message&& m) {
-          auto task = pool_->steal();
-          if (task) {
-            locality_.send(m.src, rt::tag::kPoolStealReply, toBytes(*task));
-          } else {
-            locality_.send(m.src, rt::tag::kPoolStealReply, {});
+          auto token = fromBytes<std::int64_t>(std::move(m.payload));
+          StealReply reply{token, {}};
+          if (auto task = pool_->steal()) {
+            reply.tasks.push_back(std::move(*task));
           }
+          locality_.send(m.src, rt::tag::kPoolStealReply, toBytes(reply));
         });
 
     // Reply to our pool-steal request: push the task locally (the idle
     // worker's popWait picks it up).
-    locality_.registerHandler(
-        rt::tag::kPoolStealReply, [this](rt::Message&& m) {
-          releaseStealSlot();
-          if (m.payload.empty()) {
-            reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
-            return;
-          }
-          auto task = fromBytes<Task>(std::move(m.payload));
-          reg_.metrics.remoteSteals.fetch_add(1, std::memory_order_relaxed);
-          int depth = task.depth;
-          pool_->push(std::move(task), depth);
-        });
+    locality_.registerHandler(rt::tag::kPoolStealReply, [this](
+                                                            rt::Message&& m) {
+      onStealReply(std::move(m));
+    });
 
     // A remote thief wants a stack steal: if any worker here is busy, queue
     // the request for a victim worker to answer mid-search; otherwise NACK
     // immediately so the thief's steal slot frees up.
     locality_.registerHandler(
         rt::tag::kStackStealRequest, [this](rt::Message&& m) {
+          auto token = fromBytes<std::int64_t>(std::move(m.payload));
           if (busyWorkers_.load(std::memory_order_relaxed) > 0) {
             pendingRemoteCount_.fetch_add(1, std::memory_order_relaxed);
-            pendingRemoteSteals_.push(m.src);
+            pendingRemoteSteals_.push(PendingSteal{m.src, token});
           } else {
             locality_.send(m.src, rt::tag::kStackStealReply,
-                           toBytes(std::vector<Task>{}));
+                           toBytes(StealReply{token, {}}));
           }
         });
 
     // Stolen tasks arriving from a remote victim.
     locality_.registerHandler(
         rt::tag::kStackStealReply, [this](rt::Message&& m) {
-          releaseStealSlot();
-          auto tasks = fromBytes<std::vector<Task>>(std::move(m.payload));
-          if (tasks.empty()) {
-            reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
-            return;
-          }
-          reg_.metrics.remoteSteals.fetch_add(tasks.size(),
-                                              std::memory_order_relaxed);
-          for (auto& t : tasks) {
-            int depth = t.depth;
-            pool_->push(std::move(t), depth);
-          }
+          onStealReply(std::move(m));
         });
   }
 
@@ -291,11 +297,10 @@ class EngineCtx {
   Reg reg_;
   Space space_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
-  rt::Channel<int> pendingRemoteSteals_;
+  rt::Channel<PendingSteal> pendingRemoteSteals_;
   std::atomic<int> pendingRemoteCount_{0};
   std::atomic<int> busyWorkers_{0};
-  std::atomic<bool> stealInFlight_{false};
-  std::atomic<std::int64_t> stealSentAt_{0};
+  rt::StealSlot stealSlot_{kStealTimeout};
 };
 
 // Generic engine: Coordination supplies executeTask() and onIdle().

@@ -69,14 +69,14 @@ void pollStealRequests(Ctx& ctx, WS& ws, std::vector<Gen>& genStack,
   }
 
   if (ctx.hasPendingRemoteSteal()) {
-    if (auto origin = ctx.takePendingRemoteSteal()) {
+    if (auto req = ctx.takePendingRemoteSteal()) {
       auto tasks =
           splitLowest(ctx, genStack, rootDepth, ctx.params().chunked);
       metrics.tasksSpawned.fetch_add(tasks.size(),
                                      std::memory_order_relaxed);
       // answerRemoteSteal counts non-empty replies as created; an empty
       // reply NACKs so the thief's steal slot frees up.
-      ctx.answerRemoteSteal(*origin, std::move(tasks));
+      ctx.answerRemoteSteal(*req, std::move(tasks));
     }
   }
 }

@@ -9,6 +9,7 @@
 #include "runtime/channel.hpp"
 #include "runtime/locality.hpp"
 #include "runtime/network.hpp"
+#include "runtime/steal_slot.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/worker_team.hpp"
 #include "runtime/workpool.hpp"
@@ -82,6 +83,86 @@ TEST(StealChannel, TimeoutWithdrawsRequest) {
   // A late respond must fail and keep the victim's tasks.
   std::vector<int> tasks{5};
   EXPECT_FALSE(sc.respond(std::move(tasks)));
+}
+
+TEST(StealSlot, HeldUntilReleased) {
+  StealSlot slot(1ms);
+  EXPECT_FALSE(slot.inFlight());
+  auto token = slot.tryAcquireAt(1000);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_TRUE(slot.inFlight());
+  // A live (non-expired) request blocks further acquires.
+  EXPECT_FALSE(slot.tryAcquireAt(1001).has_value());
+  slot.release(*token);
+  EXPECT_FALSE(slot.inFlight());
+  EXPECT_TRUE(slot.tryAcquireAt(1002).has_value());
+}
+
+TEST(StealSlot, ExactlyOneThiefWinsExpiredSlot) {
+  // Regression: the pre-StealSlot engine logic did a plain load/store on the
+  // send timestamp, so any number of concurrent thieves could pass the
+  // expiry check and each claim the single in-flight slot. The CAS on the
+  // timestamp must let exactly one win.
+  constexpr std::int64_t kTimeoutNs = 1000;
+  constexpr int kThieves = 8;
+  for (int iter = 0; iter < 200; ++iter) {
+    StealSlot slot{std::chrono::nanoseconds(kTimeoutNs)};
+    // Request that will look lost.
+    ASSERT_TRUE(slot.tryAcquireAt(0).has_value());
+    std::atomic<int> wins{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> thieves;
+    thieves.reserve(kThieves);
+    for (int t = 0; t < kThieves; ++t) {
+      thieves.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        if (slot.tryAcquireAt(kTimeoutNs + 1).has_value()) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : thieves) th.join();
+    ASSERT_EQ(wins.load(), 1);
+  }
+}
+
+TEST(StealSlot, StaleReplyDoesNotFreeRenewedRequest) {
+  // Regression: after a thief took over an expired slot, the superseded
+  // request's late reply used to store inFlight=false, freeing the slot
+  // while the renewed request was still outstanding. Replies now echo the
+  // request token, so a stale reply misses.
+  StealSlot slot{std::chrono::nanoseconds(1000)};
+  auto original = slot.tryAcquireAt(0);
+  ASSERT_TRUE(original.has_value());
+  auto renewed = slot.tryAcquireAt(2000);  // expired; renewed by a new thief
+  ASSERT_TRUE(renewed.has_value());
+  slot.release(*original);  // late reply to the original
+  // The renewed request is still outstanding: the slot must stay held.
+  EXPECT_TRUE(slot.inFlight());
+  EXPECT_FALSE(slot.tryAcquireAt(2500).has_value());
+  slot.release(*renewed);  // the renewed request's own reply
+  EXPECT_FALSE(slot.inFlight());
+  EXPECT_TRUE(slot.tryAcquireAt(2600).has_value());
+}
+
+TEST(StealSlot, UnansweredRequestRecoversAfterExpiry) {
+  // A request whose reply never arrives must not wedge the slot: the next
+  // thief takes over after the timeout, and once ITS reply lands the slot
+  // is fully free again (no expiry-gated throttling left behind).
+  StealSlot slot{std::chrono::nanoseconds(1000)};
+  auto lost = slot.tryAcquireAt(0);
+  ASSERT_TRUE(lost.has_value());  // this request is never answered
+  auto renewed = slot.tryAcquireAt(5000);
+  ASSERT_TRUE(renewed.has_value());
+  slot.release(*renewed);
+  EXPECT_FALSE(slot.inFlight());
+  // Fresh acquire works immediately, with no leftover bookkeeping to
+  // swallow its reply.
+  auto next = slot.tryAcquireAt(5001);
+  ASSERT_TRUE(next.has_value());
+  slot.release(*next);
+  EXPECT_FALSE(slot.inFlight());
 }
 
 TEST(DepthPool, OrderPreserving) {
