@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/cmst/cmst.hpp"
 #include "apps/maxclique/graph.hpp"
 #include "apps/maxclique/maxclique.hpp"
 #include "core/yewpar.hpp"
@@ -58,6 +59,13 @@ inline std::vector<CliqueInstance> table1Instances() {
   add("sanr-like-3", gnp(145, 0.80, 35));
   add("sanr-like-4", gnp(160, 0.78, 36));
   return out;
+}
+
+// Seeded conflict-MST instance for the skeleton-comparison sweeps: dense
+// enough that the include/exclude tree is nontrivial, with enough conflict
+// pairs that the optimum detours off the unconstrained MST.
+inline apps::cmst::Instance sweepCmstInstance() {
+  return apps::cmst::randomInstance(20, 70, 320, 2020);
 }
 
 enum class Skel { Seq, DepthBounded, StackStealing, Budget, Ordered };

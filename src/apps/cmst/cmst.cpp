@@ -1,0 +1,278 @@
+#include "apps/cmst/cmst.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/dsu.hpp"
+#include "util/rng.hpp"
+
+namespace yewpar::apps::cmst {
+
+std::int64_t Instance::totalWeight() const {
+  return std::accumulate(ew.begin(), ew.end(), std::int64_t{0});
+}
+
+namespace {
+
+void buildAdj(Instance& inst) {
+  inst.conflictAdj.assign(static_cast<std::size_t>(inst.m()), {});
+  for (std::size_t i = 0; i < inst.ca.size(); ++i) {
+    inst.conflictAdj[static_cast<std::size_t>(inst.ca[i])].push_back(
+        inst.cb[i]);
+    inst.conflictAdj[static_cast<std::size_t>(inst.cb[i])].push_back(
+        inst.ca[i]);
+  }
+}
+
+}  // namespace
+
+void Instance::finalize() {
+  std::vector<std::int32_t> order(static_cast<std::size_t>(m()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return ew[static_cast<std::size_t>(a)] <
+                            ew[static_cast<std::size_t>(b)];
+                   });
+  std::vector<std::int32_t> oldToNew(order.size());
+  std::vector<std::int32_t> u2(order.size()), v2(order.size()),
+      w2(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto old = static_cast<std::size_t>(order[i]);
+    oldToNew[old] = static_cast<std::int32_t>(i);
+    u2[i] = eu[old];
+    v2[i] = ev[old];
+    w2[i] = ew[old];
+  }
+  eu = std::move(u2);
+  ev = std::move(v2);
+  ew = std::move(w2);
+  for (auto& a : ca) a = oldToNew[static_cast<std::size_t>(a)];
+  for (auto& b : cb) b = oldToNew[static_cast<std::size_t>(b)];
+  buildAdj(*this);
+}
+
+void Instance::load(IArchive& a) {
+  a >> n >> eu >> ev >> ew >> ca >> cb;
+  buildAdj(*this);  // edges arrive already weight-sorted
+}
+
+Node rootNode(const Instance& inst) {
+  Node root;
+  root.excluded = DynBitset(static_cast<std::size_t>(inst.m()));
+  root.complete = inst.n <= 1;  // the empty tree spans a single vertex
+  return root;
+}
+
+std::int64_t upperBound(const Instance& inst, const Node& nd) {
+  if (nd.complete) return -nd.cost;
+  const auto m = static_cast<std::size_t>(inst.m());
+  const auto need = static_cast<std::size_t>(inst.n - 1);
+
+  // Forced-exclusion count check: conflict propagation (plus explicit
+  // excludes) may leave fewer usable edges than a spanning tree needs.
+  if (m - nd.excluded.count() < need) return kInfeasible;
+
+  Dsu dsu(static_cast<std::size_t>(inst.n));
+  for (auto e : nd.included) {
+    dsu.unite(static_cast<std::size_t>(inst.eu[static_cast<std::size_t>(e)]),
+              static_cast<std::size_t>(inst.ev[static_cast<std::size_t>(e)]));
+  }
+
+  // Kruskal completion over the still-allowed edges (weight order = index
+  // order). Included edges are already united, so they cannot double-count.
+  std::int64_t total = nd.cost;
+  for (std::size_t idx = 0; idx < m && dsu.componentCount() > 1; ++idx) {
+    if (nd.excluded.test(idx)) continue;
+    if (dsu.unite(static_cast<std::size_t>(inst.eu[idx]),
+                  static_cast<std::size_t>(inst.ev[idx]))) {
+      total += inst.ew[idx];
+    }
+  }
+  if (dsu.componentCount() > 1) return kInfeasible;
+  return -total;
+}
+
+Gen::Gen(const Instance& i, const cmst::Node& p) : inst(&i), parent(p) {
+  if (parent.complete) return;  // a spanning tree is a leaf
+  Dsu dsu(static_cast<std::size_t>(inst->n));
+  for (auto e : parent.included) {
+    dsu.unite(static_cast<std::size_t>(inst->eu[static_cast<std::size_t>(e)]),
+              static_cast<std::size_t>(inst->ev[static_cast<std::size_t>(e)]));
+  }
+  const auto m = inst->m();
+  for (std::int32_t idx = parent.nextEdge; idx < m; ++idx) {
+    if (parent.excluded.test(static_cast<std::size_t>(idx))) continue;
+    if (dsu.connected(
+            static_cast<std::size_t>(inst->eu[static_cast<std::size_t>(idx)]),
+            static_cast<std::size_t>(
+                inst->ev[static_cast<std::size_t>(idx)]))) {
+      // Closes a cycle with the tree-so-far; since the tree only grows below
+      // this node, the edge can never join and is forced out in both
+      // children (sharpens the children's bound relaxation).
+      cycleSkips.push_back(idx);
+      continue;
+    }
+    candidate = idx;
+    break;
+  }
+}
+
+cmst::Node Gen::next() {
+  cmst::Node child = parent;
+  for (auto s : cycleSkips) child.excluded.set(static_cast<std::size_t>(s));
+  child.nextEdge = candidate + 1;
+  if (emitted == 0) {
+    // Include child: commit the edge, force out everything conflicting with
+    // it. (A conflicting edge can never already be included: including it
+    // would have excluded `candidate` first.)
+    child.included.push_back(candidate);
+    child.cost += inst->ew[static_cast<std::size_t>(candidate)];
+    for (auto f : inst->conflicts(candidate)) {
+      child.excluded.set(static_cast<std::size_t>(f));
+    }
+    // n-1 acyclic edges over n vertices: a spanning tree.
+    child.complete = static_cast<std::int32_t>(child.included.size()) ==
+                     inst->n - 1;
+  } else {
+    child.excluded.set(static_cast<std::size_t>(candidate));
+  }
+  ++emitted;
+  return child;
+}
+
+std::optional<std::int64_t> bruteForce(const Instance& inst) {
+  const auto m = inst.m();
+  if (m > 24) {
+    throw std::runtime_error("cmst::bruteForce: instance too large (m > 24)");
+  }
+  if (inst.n <= 1) return 0;
+  const auto need = inst.n - 1;
+  std::optional<std::int64_t> best;
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (std::popcount(mask) != need) continue;
+    bool ok = true;
+    for (std::size_t i = 0; i < inst.ca.size() && ok; ++i) {
+      if ((mask >> inst.ca[i] & 1u) && (mask >> inst.cb[i] & 1u)) ok = false;
+    }
+    if (!ok) continue;
+    Dsu dsu(static_cast<std::size_t>(inst.n));
+    std::int64_t cost = 0;
+    for (std::int32_t e = 0; e < m && ok; ++e) {
+      if (!(mask >> e & 1u)) continue;
+      if (!dsu.unite(
+              static_cast<std::size_t>(inst.eu[static_cast<std::size_t>(e)]),
+              static_cast<std::size_t>(
+                  inst.ev[static_cast<std::size_t>(e)]))) {
+        ok = false;  // cycle
+      }
+      cost += inst.ew[static_cast<std::size_t>(e)];
+    }
+    if (!ok || dsu.componentCount() != 1) continue;
+    if (!best || cost < *best) best = cost;
+  }
+  return best;
+}
+
+Instance parseText(const std::string& text) {
+  std::istringstream in(text);
+  std::int64_t n = 0, m = 0, p = 0;
+  if (!(in >> n >> m >> p)) {
+    throw std::runtime_error("cmst: missing 'n m p' header");
+  }
+  if (n < 1 || m < 0 || p < 0) {
+    throw std::runtime_error("cmst: bad header values");
+  }
+  Instance inst;
+  inst.n = static_cast<std::int32_t>(n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t u = 0, v = 0, w = 0;
+    if (!(in >> u >> v >> w)) {
+      throw std::runtime_error("cmst: truncated edge list");
+    }
+    if (u < 0 || u >= n || v < 0 || v >= n || u == v || w < 0) {
+      throw std::runtime_error("cmst: bad edge line");
+    }
+    inst.eu.push_back(static_cast<std::int32_t>(u));
+    inst.ev.push_back(static_cast<std::int32_t>(v));
+    inst.ew.push_back(static_cast<std::int32_t>(w));
+  }
+  for (std::int64_t i = 0; i < p; ++i) {
+    std::int64_t a = 0, b = 0;
+    if (!(in >> a >> b)) {
+      throw std::runtime_error("cmst: truncated conflict list");
+    }
+    if (a < 0 || a >= m || b < 0 || b >= m || a == b) {
+      throw std::runtime_error("cmst: bad conflict line");
+    }
+    inst.ca.push_back(static_cast<std::int32_t>(a));
+    inst.cb.push_back(static_cast<std::int32_t>(b));
+  }
+  inst.finalize();
+  return inst;
+}
+
+Instance randomInstance(std::int32_t n, std::int32_t m, std::int32_t conflicts,
+                        std::uint64_t seed) {
+  if (n < 1) throw std::runtime_error("cmst: n must be >= 1");
+  const auto maxEdges =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  m = static_cast<std::int32_t>(
+      std::min<std::int64_t>(std::max<std::int64_t>(m, n - 1), maxEdges));
+
+  Rng rng(mix64(seed, 0xC3A5C85C97CB3127ULL));
+  Instance inst;
+  inst.n = n;
+  auto key = [n](std::int32_t u, std::int32_t v) {
+    if (u > v) std::swap(u, v);
+    return static_cast<std::int64_t>(u) * n + v;
+  };
+  std::unordered_set<std::int64_t> used;
+  auto addEdge = [&](std::int32_t u, std::int32_t v) {
+    used.insert(key(u, v));
+    inst.eu.push_back(u);
+    inst.ev.push_back(v);
+    inst.ew.push_back(static_cast<std::int32_t>(1 + rng.below(1000)));
+  };
+  // Random spanning tree first, so the unconstrained graph is connected.
+  for (std::int32_t v = 1; v < n; ++v) {
+    addEdge(static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(v))),
+            v);
+  }
+  while (static_cast<std::int32_t>(inst.eu.size()) < m) {
+    const auto u = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (used.contains(key(u, v))) continue;
+    addEdge(u, v);
+  }
+  // Distinct random conflict pairs over the edge indices.
+  const auto maxPairs = static_cast<std::int64_t>(m) * (m - 1) / 2;
+  conflicts = static_cast<std::int32_t>(
+      std::min<std::int64_t>(std::max(conflicts, 0), maxPairs));
+  std::unordered_set<std::int64_t> usedPairs;
+  auto pairKey = [m](std::int32_t a, std::int32_t b) {
+    if (a > b) std::swap(a, b);
+    return static_cast<std::int64_t>(a) * m + b;
+  };
+  while (static_cast<std::int32_t>(inst.ca.size()) < conflicts) {
+    const auto a = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(m)));
+    const auto b = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(m)));
+    if (a == b) continue;
+    if (!usedPairs.insert(pairKey(a, b)).second) continue;
+    inst.ca.push_back(a);
+    inst.cb.push_back(b);
+  }
+  inst.finalize();
+  return inst;
+}
+
+}  // namespace yewpar::apps::cmst

@@ -21,6 +21,10 @@
 //   * `void save(OArchive&) const` / `void load(IArchive&)` so tasks can
 //     cross locality boundaries;
 //   * for Optimisation/Decision searches: `std::int64_t getObj() const`.
+//     getObj() is always maximised; a minimisation application returns the
+//     negated cost for complete solutions and a large negative sentinel for
+//     partial nodes (so a partial node never beats a real solution) — see
+//     the minimisation-convention note in core/searchtypes.hpp.
 
 #include <concepts>
 #include <cstdint>

@@ -14,13 +14,24 @@
 namespace yewpar {
 
 // Optimisation: maximise Node::getObj(); result is a witness node.
+//
+// Minimisation convention: the skeletons only maximise, so a minimisation
+// application negates its objective — complete solutions return -(cost) from
+// getObj(), and nodes that are not yet complete solutions return a large
+// negative sentinel (above the registry's kObjMin, below any negated real
+// cost) so they can never become the incumbent. The bound function is then
+// the negated admissible *lower* bound on the subtree's completion cost, and
+// pruning fires exactly when lowerBound >= bestCostSoFar. See
+// src/apps/tsp/tsp.hpp (kPartialObj) and src/apps/cmst/cmst.hpp for the two
+// reference implementations.
 struct Optimisation {
   static constexpr bool isEnumeration = false;
   static constexpr bool isDecision = false;
 };
 
 // Decision: find a node with getObj() >= Params::decisionTarget; terminates
-// early via the (shortcircuit) rule once found.
+// early via the (shortcircuit) rule once found. Under the minimisation
+// convention above, "solution of cost <= B?" maps to decisionTarget = -B.
 struct Decision {
   static constexpr bool isEnumeration = false;
   static constexpr bool isDecision = true;

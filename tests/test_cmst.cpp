@@ -1,0 +1,293 @@
+// Conflict-MST application tests: parser, conflict propagation, bound
+// admissibility, brute-force cross-checks of Optimisation across all six
+// skeletons, and Decision early termination (Registry::stop end to end).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/cmst/cmst.hpp"
+#include "common/run_skeleton.hpp"
+#include "util/dsu.hpp"
+
+using namespace yewpar;
+using namespace yewpar::apps;
+using namespace yewpar::testing;
+
+namespace {
+
+Params parParams() {
+  Params p;
+  p.workersPerLocality = 2;
+  p.dcutoff = 2;
+  p.backtrackBudget = 30;
+  return p;
+}
+
+cmst::Instance testInstance(std::uint64_t seed) {
+  return cmst::randomInstance(7, 14, 6, seed);
+}
+
+// Full validity check: n-1 included edges, acyclic + spanning, no conflict
+// pair fully included, recorded cost equals the edge-weight sum.
+void expectValidTree(const cmst::Instance& inst, const cmst::Node& nd) {
+  ASSERT_TRUE(nd.complete);
+  ASSERT_EQ(nd.included.size(), static_cast<std::size_t>(inst.n - 1));
+  Dsu dsu(static_cast<std::size_t>(inst.n));
+  std::int64_t cost = 0;
+  for (auto e : nd.included) {
+    EXPECT_TRUE(dsu.unite(
+        static_cast<std::size_t>(inst.eu[static_cast<std::size_t>(e)]),
+        static_cast<std::size_t>(inst.ev[static_cast<std::size_t>(e)])));
+    cost += inst.ew[static_cast<std::size_t>(e)];
+  }
+  EXPECT_EQ(dsu.componentCount(), 1u);
+  EXPECT_EQ(cost, nd.cost);
+  for (std::size_t i = 0; i < inst.ca.size(); ++i) {
+    const bool hasA =
+        std::find(nd.included.begin(), nd.included.end(), inst.ca[i]) !=
+        nd.included.end();
+    const bool hasB =
+        std::find(nd.included.begin(), nd.included.end(), inst.cb[i]) !=
+        nd.included.end();
+    EXPECT_FALSE(hasA && hasB) << "conflict pair " << i << " violated";
+  }
+}
+
+// First seed in [1, limit] whose instance admits a conflict-free spanning
+// tree (deterministic; the generators are seeded).
+std::uint64_t feasibleSeed(std::uint64_t limit = 20) {
+  for (std::uint64_t seed = 1; seed <= limit; ++seed) {
+    if (cmst::bruteForce(testInstance(seed)).has_value()) return seed;
+  }
+  ADD_FAILURE() << "no feasible seed found";
+  return 1;
+}
+
+}  // namespace
+
+TEST(Cmst, ParsesTextAndSortsByWeight) {
+  // A 4-cycle with a chord; conflicts refer to input edge order and must be
+  // remapped when the edges are weight-sorted.
+  const std::string text =
+      "4 5 2\n"
+      "0 1 30\n"
+      "1 2 10\n"
+      "2 3 20\n"
+      "3 0 40\n"
+      "0 2 5\n"
+      "0 1\n"
+      "1 4\n";
+  auto inst = cmst::parseText(text);
+  EXPECT_EQ(inst.n, 4);
+  EXPECT_EQ(inst.m(), 5);
+  // Weight-sorted: 5, 10, 20, 30, 40.
+  EXPECT_EQ(inst.ew, (std::vector<std::int32_t>{5, 10, 20, 30, 40}));
+  // Input pair (0,1) = weights (30,10) -> sorted indices (3,1); input pair
+  // (1,4) = weights (10,5) -> sorted indices (1,0).
+  ASSERT_EQ(inst.ca.size(), 2u);
+  EXPECT_EQ(inst.ca[0], 3);
+  EXPECT_EQ(inst.cb[0], 1);
+  EXPECT_EQ(inst.ca[1], 1);
+  EXPECT_EQ(inst.cb[1], 0);
+  EXPECT_EQ(inst.conflicts(1),
+            (std::vector<std::int32_t>{3, 0}));
+}
+
+TEST(Cmst, ParserRejectsMalformed) {
+  EXPECT_THROW(cmst::parseText(""), std::runtime_error);
+  EXPECT_THROW(cmst::parseText("3 1 0\n0 0 5\n"), std::runtime_error);   // u==v
+  EXPECT_THROW(cmst::parseText("3 2 0\n0 1 5\n"), std::runtime_error);   // short
+  EXPECT_THROW(cmst::parseText("3 2 1\n0 1 5\n1 2 6\n0 0\n"),
+               std::runtime_error);                                      // a==b
+  EXPECT_THROW(cmst::parseText("3 2 1\n0 1 5\n1 2 6\n0 7\n"),
+               std::runtime_error);                                      // range
+  EXPECT_THROW(cmst::parseText("3 1 0\n0 1 -2\n"), std::runtime_error);  // w<0
+}
+
+TEST(Cmst, InstanceSerializationRoundTrips) {
+  auto inst = testInstance(3);
+  OArchive oa;
+  inst.save(oa);
+  IArchive ia(std::move(oa).takeBytes());
+  cmst::Instance inst2;
+  inst2.load(ia);
+  EXPECT_EQ(inst2.n, inst.n);
+  EXPECT_EQ(inst2.ew, inst.ew);
+  EXPECT_EQ(inst2.conflictAdj, inst.conflictAdj);  // rebuilt on load
+}
+
+TEST(Cmst, KnownInstanceConflictForcesDetour) {
+  // Triangle 0-1-2 plus pendant 3. The unconstrained MST is {0-1, 1-2, 1-3}
+  // (cost 1+2+1=4), but 0-1 conflicts with 1-2, so the best conflict-free
+  // tree swaps in 0-2 (cost 1+3+1=5).
+  const std::string text =
+      "4 4 1\n"
+      "0 1 1\n"
+      "1 2 2\n"
+      "0 2 3\n"
+      "1 3 1\n"
+      "0 1\n";
+  auto inst = cmst::parseText(text);
+  auto expect = cmst::bruteForce(inst);
+  ASSERT_TRUE(expect.has_value());
+  EXPECT_EQ(*expect, 5);
+  auto out = skeletons::Sequential<
+      cmst::Gen, Optimisation,
+      BoundFunction<&cmst::upperBound>>::search(Params{}, inst,
+                                                cmst::rootNode(inst));
+  EXPECT_EQ(-out.objective, 5);
+  ASSERT_TRUE(out.incumbent.has_value());
+  expectValidTree(inst, *out.incumbent);
+}
+
+TEST(Cmst, GeneratorPropagatesConflicts) {
+  const std::string text =
+      "4 4 1\n"
+      "0 1 1\n"
+      "1 2 2\n"
+      "0 2 3\n"
+      "1 3 1\n"
+      "0 1\n";
+  auto inst = cmst::parseText(text);
+  cmst::Gen gen(inst, cmst::rootNode(inst));
+  ASSERT_TRUE(gen.hasNext());
+  auto include = gen.next();  // includes edge 0 (0-1, weight 1)
+  ASSERT_EQ(include.included.size(), 1u);
+  const auto e = include.included[0];
+  // Every edge conflicting with e is forced out, e itself is not.
+  EXPECT_FALSE(include.excluded.test(static_cast<std::size_t>(e)));
+  for (auto f : inst.conflicts(e)) {
+    EXPECT_TRUE(include.excluded.test(static_cast<std::size_t>(f)));
+  }
+  ASSERT_TRUE(gen.hasNext());
+  auto exclude = gen.next();  // excludes the same edge, keeps conflicts open
+  EXPECT_TRUE(exclude.included.empty());
+  EXPECT_TRUE(exclude.excluded.test(static_cast<std::size_t>(e)));
+  for (auto f : inst.conflicts(e)) {
+    EXPECT_FALSE(exclude.excluded.test(static_cast<std::size_t>(f)));
+  }
+  EXPECT_FALSE(gen.hasNext());  // binary branching
+}
+
+TEST(Cmst, SingleVertexRootIsComplete) {
+  cmst::Instance inst;
+  inst.n = 1;
+  inst.finalize();
+  auto root = cmst::rootNode(inst);
+  EXPECT_TRUE(root.complete);
+  EXPECT_EQ(root.getObj(), 0);
+  cmst::Gen gen(inst, root);
+  EXPECT_FALSE(gen.hasNext());
+  EXPECT_EQ(cmst::bruteForce(inst), std::optional<std::int64_t>{0});
+}
+
+TEST(Cmst, BoundIsAdmissibleAndDetectsInfeasibility) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto inst = testInstance(seed);
+    auto root = cmst::rootNode(inst);
+    auto expect = cmst::bruteForce(inst);
+    if (expect) {
+      // Bound dominates the optimum: -(lower bound) >= -(optimal cost).
+      EXPECT_GE(cmst::upperBound(inst, root), -*expect) << "seed " << seed;
+      // And is itself a real relaxation value, not the sentinel.
+      EXPECT_GT(cmst::upperBound(inst, root), cmst::kPartialObj);
+    }
+  }
+  // A node with everything except a disconnecting cut excluded is detected.
+  auto inst = cmst::parseText("3 2 0\n0 1 1\n1 2 1\n");
+  auto nd = cmst::rootNode(inst);
+  nd.excluded.set(0);
+  EXPECT_EQ(cmst::upperBound(inst, nd), cmst::kInfeasible);
+}
+
+class CmstSkeletons : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(CmstSkeletons, MatchesBruteForce) {
+  // >= 20 seeded instances per skeleton, feasible and infeasible alike.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto inst = testInstance(seed);
+    auto expect = cmst::bruteForce(inst);
+    auto out = runSkeleton<cmst::Gen, Optimisation,
+                           BoundFunction<&cmst::upperBound>>(
+        GetParam(), parParams(), inst, cmst::rootNode(inst));
+    if (expect) {
+      EXPECT_EQ(-out.objective, *expect) << "seed " << seed;
+      ASSERT_TRUE(out.incumbent.has_value());
+      expectValidTree(inst, *out.incumbent);
+    } else {
+      // Infeasible: no complete tree can ever strengthen past the partial
+      // sentinel.
+      EXPECT_EQ(out.objective, cmst::kPartialObj) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(CmstSkeletons, TwoLocalitiesAgree) {
+  const auto seed = feasibleSeed();
+  auto inst = testInstance(seed);
+  auto expect = cmst::bruteForce(inst);
+  Params p = parParams();
+  p.nLocalities = 2;
+  auto out =
+      runSkeleton<cmst::Gen, Optimisation, BoundFunction<&cmst::upperBound>>(
+          GetParam(), p, inst, cmst::rootNode(inst));
+  ASSERT_TRUE(expect.has_value());
+  EXPECT_EQ(-out.objective, *expect);
+}
+
+TEST_P(CmstSkeletons, DecisionStopsEarlyOnAchievableTarget) {
+  const auto seed = feasibleSeed();
+  auto inst = testInstance(seed);
+  const auto optimal = *cmst::bruteForce(inst);
+
+  // Reference: an unachievable target with no bound function visits the
+  // whole include/exclude tree exactly once (cost <= 0 is impossible for
+  // positive weights).
+  Params full = parParams();
+  full.decisionTarget = -0;
+  auto fullOut = runSkeleton<cmst::Gen, Decision>(GetParam(), full, inst,
+                                                  cmst::rootNode(inst));
+  EXPECT_FALSE(fullOut.decided);
+  const auto treeNodes = fullOut.metrics.nodesProcessed;
+  ASSERT_GT(treeNodes, 50u);  // nontrivial tree, so "early" is meaningful
+
+  // Loose achievable target: any spanning tree qualifies, so the first
+  // complete tree raises Registry::stop and the rest of the tree is drained
+  // unsearched.
+  Params loose = parParams();
+  loose.decisionTarget = -inst.totalWeight();
+  auto out = runSkeleton<cmst::Gen, Decision>(GetParam(), loose, inst,
+                                              cmst::rootNode(inst));
+  EXPECT_TRUE(out.decided);
+  ASSERT_TRUE(out.incumbent.has_value());
+  expectValidTree(inst, *out.incumbent);
+  EXPECT_LT(out.metrics.nodesProcessed, treeNodes);
+  if (GetParam() == Skel::Seq) {
+    // Deterministic: include-first branching walks straight down to the
+    // first spanning tree, so the short-circuit fires within a sliver of
+    // the full tree.
+    EXPECT_LT(out.metrics.nodesProcessed * 4, treeNodes);
+  }
+
+  // Exact achievable / just-unachievable targets, with the bound enabled.
+  Params exact = parParams();
+  exact.decisionTarget = -optimal;
+  auto exactOut =
+      runSkeleton<cmst::Gen, Decision, BoundFunction<&cmst::upperBound>>(
+          GetParam(), exact, inst, cmst::rootNode(inst));
+  EXPECT_TRUE(exactOut.decided);
+
+  Params unach = parParams();
+  unach.decisionTarget = -(optimal - 1);
+  auto unachOut =
+      runSkeleton<cmst::Gen, Decision, BoundFunction<&cmst::upperBound>>(
+          GetParam(), unach, inst, cmst::rootNode(inst));
+  EXPECT_FALSE(unachOut.decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, CmstSkeletons,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/yewpar.hpp"
+#include "common/run_skeleton.hpp"
 #include "common/synth.hpp"
 
 using namespace yewpar;
@@ -133,3 +134,50 @@ TEST(CoreSmoke, DecisionUnreachableTargetVisitsWholeTree) {
   EXPECT_FALSE(out.decided);
   EXPECT_EQ(out.metrics.nodesProcessed, completeTreeSize(2, 5));
 }
+
+// Registry::stop / Registry::truncated semantics across every skeleton: a
+// decision short-circuit raises stop but NOT truncated (the outcome stays
+// `complete`), while a maxNodes cap raises both (the outcome is incomplete).
+
+class StopSemantics : public ::testing::TestWithParam<Skel> {};
+
+TEST_P(StopSemantics, DecisionShortCircuitIsCompleteAndEarly) {
+  SynthSpace space{3, 6};
+  const auto treeSize = completeTreeSize(3, 6);
+  Params p = parParams(1, 2);
+  p.decisionTarget = 5;
+  auto out = runSkeleton<SynthGen, Decision>(GetParam(), p, space,
+                                             SynthNode{});
+  EXPECT_TRUE(out.decided);
+  // Short-circuit is not truncation: the answer is exact.
+  EXPECT_TRUE(out.complete);
+  // Stop propagated before the whole tree was searched.
+  EXPECT_LT(out.metrics.nodesProcessed, treeSize);
+}
+
+TEST_P(StopSemantics, DecisionUnachievableVisitsEveryNodeOnce) {
+  SynthSpace space{3, 5};
+  Params p = parParams(1, 2);
+  p.decisionTarget = 99;
+  auto out = runSkeleton<SynthGen, Decision>(GetParam(), p, space,
+                                             SynthNode{});
+  EXPECT_FALSE(out.decided);
+  EXPECT_TRUE(out.complete);
+  EXPECT_EQ(out.metrics.nodesProcessed, completeTreeSize(3, 5));
+}
+
+TEST_P(StopSemantics, MaxNodesCapSetsTruncated) {
+  SynthSpace space{3, 6};
+  Params p = parParams(1, 2);
+  p.maxNodes = 20;
+  auto out = runSkeleton<SynthGen, Optimisation>(GetParam(), p, space,
+                                                 SynthNode{});
+  EXPECT_FALSE(out.complete);
+  EXPECT_LT(out.metrics.nodesProcessed, completeTreeSize(3, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSkeletons, StopSemantics,
+                         ::testing::ValuesIn(kAllSkels),
+                         [](const auto& info) {
+                           return skelName(info.param);
+                         });

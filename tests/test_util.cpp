@@ -1,9 +1,10 @@
-// Unit tests for the util substrate: bitset, rng, archive, flags, stats.
+// Unit tests for the util substrate: bitset, dsu, rng, archive, flags, stats.
 
 #include <gtest/gtest.h>
 
 #include "util/archive.hpp"
 #include "util/bitset.hpp"
+#include "util/dsu.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -93,6 +94,62 @@ TEST(Bitset, ForEachAscending) {
   b.forEach([&](std::size_t i) { seen.push_back(i); });
   EXPECT_EQ(seen, (std::vector<std::size_t>{0, 77, 149}));
   EXPECT_EQ(b.toVector(), seen);
+}
+
+TEST(Dsu, SingletonsThenUnions) {
+  Dsu d(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.componentCount(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d.find(i), i);
+    EXPECT_EQ(d.componentSize(i), 1u);
+  }
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_TRUE(d.unite(2, 3));
+  EXPECT_EQ(d.componentCount(), 3u);
+  EXPECT_TRUE(d.connected(0, 1));
+  EXPECT_FALSE(d.connected(1, 2));
+  // Uniting two elements already in one set fails and changes nothing.
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_EQ(d.componentCount(), 3u);
+  EXPECT_TRUE(d.unite(1, 3));
+  EXPECT_EQ(d.componentCount(), 2u);
+  EXPECT_EQ(d.componentSize(0), 4u);
+  EXPECT_EQ(d.componentSize(4), 1u);
+}
+
+TEST(Dsu, PathCompressionKeepsFindsConsistent) {
+  // Build a long chain; every element must resolve to one representative,
+  // and repeated finds (now compressed) must agree.
+  constexpr std::size_t n = 200;
+  Dsu d(n);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_TRUE(d.unite(i - 1, i));
+  EXPECT_EQ(d.componentCount(), 1u);
+  const auto root = d.find(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(d.find(i), root);
+    EXPECT_EQ(d.find(i), d.find(i));
+    EXPECT_EQ(d.componentSize(i), n);
+  }
+}
+
+TEST(Dsu, ResetRestoresSingletons) {
+  Dsu d(4);
+  d.unite(0, 1);
+  d.unite(2, 3);
+  d.reset(6);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.componentCount(), 6u);
+  EXPECT_FALSE(d.connected(0, 1));
+}
+
+TEST(Dsu, KruskalStyleCycleDetection) {
+  // Triangle 0-1-2: the third edge closes a cycle, as unite reports.
+  Dsu d(3);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_TRUE(d.unite(1, 2));
+  EXPECT_FALSE(d.unite(2, 0));
+  EXPECT_EQ(d.componentCount(), 1u);
 }
 
 TEST(Rng, DeterministicAndSplittable) {
