@@ -56,7 +56,7 @@ int main() {
       p.nLocalities = nloc;
       p.workersPerLocality = 2;
       p.dcutoff = 2;
-      p.chunked = true;
+      p.chunk = parseChunkPolicy("all");
       p.backtrackBudget = 100000;
       p.decisionTarget = k;
 

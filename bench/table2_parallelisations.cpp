@@ -26,6 +26,7 @@
 #include "apps/tsp/tsp.hpp"
 #include "apps/uts/uts.hpp"
 #include "common.hpp"
+#include "util/flags.hpp"
 #include "util/rng.hpp"
 
 using namespace yewpar;
@@ -39,7 +40,7 @@ constexpr int kLocalities = 2;
 
 const int kDcutoffs[] = {1, 2, 4, 6};
 const std::uint64_t kBudgets[] = {1000, 10000, 100000, 1000000};
-const bool kChunked[] = {false, true};
+const char* kChunkPolicies[] = {"one", "half", "all"};
 
 struct SweepRow {
   double worst = 0, random = 0, best = 0;
@@ -72,9 +73,9 @@ SweepRow sweep(Skel skel, double seqTime, RunFn&& runFn, Rng& rng) {
       }
       break;
     case Skel::StackStealing:
-      for (bool c : kChunked) {
+      for (const char* c : kChunkPolicies) {
         Params p;
-        p.chunked = c;
+        p.chunk = parseChunkPolicy(c);
         addRun(p);
       }
       break;
@@ -93,16 +94,26 @@ SweepRow sweep(Skel skel, double seqTime, RunFn&& runFn, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --only <substring>: restrict to matching application rows (CI bench
+  // smoke runs `--only CMST --tiny`); --tiny: smoke-test instance sizes.
+  Flags flags(argc, argv);
+  const std::string only = flags.getString("only", "");
+  const bool tiny = flags.getBool("tiny");
+
   std::printf("== Table 2: 21 alternate parallelisations ==\n");
   std::printf("(%d localities x %d workers; speedup vs Sequential skeleton; "
-              "sweeps: dcutoff {1,2,4,6}, budget {1e3..1e6}, chunked "
-              "{off,on})\n\n",
+              "sweeps: dcutoff {1,2,4,6}, budget {1e3..1e6}, chunk policy "
+              "{one,half,all})\n\n",
               kLocalities, kWorkers);
 
   TablePrinter table(
       {"Application", "Skeleton", "Worst", "Random", "Best"});
   Rng rng(2020);
+
+  auto wanted = [&](const char* app) {
+    return only.empty() || std::string(app).find(only) != std::string::npos;
+  };
 
   auto report = [&](const char* app, double seqTime, auto&& runFn) {
     for (Skel s :
@@ -114,8 +125,8 @@ int main() {
     }
   };
 
-  {  // MaxClique (optimisation)
-    Graph g = gnp(190, 0.72, 7);
+  if (wanted("MaxClique")) {  // MaxClique (optimisation)
+    Graph g = tiny ? gnp(60, 0.60, 7) : gnp(190, 0.72, 7);
     g.sortByDegreeDesc();
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {
@@ -127,8 +138,8 @@ int main() {
     report("MaxClique", seqT, run);
   }
 
-  {  // TSP (optimisation)
-    auto inst = tsp::randomEuclidean(14, 9);
+  if (wanted("TSP")) {  // TSP (optimisation)
+    auto inst = tsp::randomEuclidean(tiny ? 9 : 14, 9);
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {
         runSkel<tsp::Gen, Optimisation, BoundFunction<&tsp::upperBound>>(
@@ -139,8 +150,9 @@ int main() {
     report("TSP", seqT, run);
   }
 
-  {  // Conflict-MST (optimisation; minimisation via negated cost)
-    auto inst = sweepCmstInstance();
+  if (wanted("CMST")) {  // Conflict-MST (minimisation via negated cost)
+    auto inst = tiny ? apps::cmst::randomInstance(12, 30, 60, 2020)
+                     : sweepCmstInstance();
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {
         runSkel<cmst::Gen, Optimisation, BoundFunction<&cmst::upperBound>>(
@@ -151,8 +163,9 @@ int main() {
     report("CMST", seqT, run);
   }
 
-  {  // Knapsack (optimisation)
-    auto inst = ks::subsetSumInstance(36, 1000000, 0.4, 17);
+  if (wanted("Knapsack")) {  // Knapsack (optimisation)
+    auto inst = tiny ? ks::subsetSumInstance(20, 100000, 0.4, 17)
+                     : ks::subsetSumInstance(36, 1000000, 0.4, 17);
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {
         runSkel<ks::Gen, Optimisation, BoundFunction<&ks::upperBound>>(
@@ -163,8 +176,9 @@ int main() {
     report("Knapsack", seqT, run);
   }
 
-  {  // SIP (decision, unsatisfiable -> full exploration)
-    auto inst = sip::randomInstance(10, 0.9, 50, 0.5, 5);
+  if (wanted("SIP")) {  // SIP (decision, unsatisfiable -> full exploration)
+    auto inst = tiny ? sip::randomInstance(6, 0.9, 25, 0.5, 5)
+                     : sip::randomInstance(10, 0.9, 50, 0.5, 5);
     Params base;
     base.decisionTarget = static_cast<std::int64_t>(inst.pattern.size());
     auto run = [&](Params p, Skel s) {
@@ -177,8 +191,8 @@ int main() {
     report("SIP", seqT, run);
   }
 
-  {  // NS (enumeration)
-    auto space = ns::makeSpace(25);
+  if (wanted("NS")) {  // NS (enumeration)
+    auto space = ns::makeSpace(tiny ? 14 : 25);
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {
         runSkel<ns::Gen, Enumeration<CountAll>>(s, p, space,
@@ -189,11 +203,11 @@ int main() {
     report("NS", seqT, run);
   }
 
-  {  // UTS (enumeration)
+  if (wanted("UTS")) {  // UTS (enumeration)
     uts::Params tree;
     tree.shape = uts::Shape::Geometric;
     tree.b0 = 6;
-    tree.maxDepth = 15;
+    tree.maxDepth = tiny ? 9 : 15;
     tree.seed = 19;
     auto run = [&](Params p, Skel s) {
       return timeMedian(1, [&] {

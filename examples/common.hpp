@@ -21,9 +21,25 @@ inline Params paramsFromFlags(const Flags& f) {
   p.nLocalities = static_cast<int>(f.getInt("localities", 1));
   p.workersPerLocality = static_cast<int>(f.getInt("workers", 1));
   p.dcutoff = static_cast<int>(f.getInt("d", 2));
-  p.backtrackBudget =
-      static_cast<std::uint64_t>(f.getInt("b", 10000));
-  p.chunked = f.getBool("chunked");
+  p.backtrackBudget = f.getUint64("b", 10000);
+  // --chunk-policy one|fixed[:k]|half|adaptive|all sizes every steal reply;
+  // --chunk-size k sets the fixed chunk size (and implies the fixed policy
+  // when no policy is given). An explicit policy wins over the legacy
+  // --chunked alias (= "all" for stack splits), so `--chunked
+  // --chunk-policy one` really is the unchunked baseline.
+  if (auto spec = f.raw("chunk-policy")) {
+    p.chunk = parseChunkPolicy(*spec);
+  } else {
+    p.chunked = f.getBool("chunked");
+  }
+  if (f.has("chunk-size")) {
+    const auto k = f.getUint64("chunk-size", p.chunk.k);
+    if (k < 1 || k > 0xFFFFFFFFull) {
+      throw std::invalid_argument("--chunk-size needs 1 <= k <= 2^32-1");
+    }
+    if (!f.has("chunk-policy")) p.chunk.kind = ChunkKind::Fixed;
+    p.chunk.k = static_cast<std::uint32_t>(k);
+  }
   p.decisionTarget = f.getInt("decisionBound", 0);
   p.networkDelayMicros = f.getDouble("netdelay", 0.0);
   return p;
@@ -77,6 +93,12 @@ void printMetrics(const Out& out) {
               static_cast<unsigned long long>(out.metrics.localSteals),
               static_cast<unsigned long long>(out.metrics.remoteSteals),
               static_cast<unsigned long long>(out.metrics.failedSteals));
+  std::printf("chunking:  %llu steal replies, %.2f tasks/steal\n",
+              static_cast<unsigned long long>(out.metrics.stealReplies),
+              out.metrics.tasksPerSteal());
+  std::printf("network:   %llu msgs / %llu payload bytes\n",
+              static_cast<unsigned long long>(out.metrics.networkMessages),
+              static_cast<unsigned long long>(out.metrics.networkBytes));
   std::printf("bounds:    %llu broadcast / %llu applied\n",
               static_cast<unsigned long long>(out.metrics.boundBroadcasts),
               static_cast<unsigned long long>(

@@ -10,6 +10,13 @@
 
 namespace yewpar {
 
+// Steal-reply chunking lives with the workpools (runtime layer); re-exported
+// here because it is part of the user-facing parameter surface.
+using ChunkKind = rt::ChunkKind;
+using ChunkPolicy = rt::ChunkPolicy;
+using rt::chunkPolicyName;
+using rt::parseChunkPolicy;
+
 struct Params {
   // Parallel layout. One locality models one machine of the paper's cluster;
   // workersPerLocality matches the paper's "--hpx:threads n" minus the
@@ -23,8 +30,22 @@ struct Params {
   // Budget: number of backtracks before offloading unexplored subtrees.
   std::uint64_t backtrackBudget = 0;
 
-  // Stack-Stealing: steal all lowest-depth siblings (true) or one node.
+  // Steal-reply chunking policy, applied by victims of both steal protocols
+  // (see rt::ChunkKind).
+  ChunkPolicy chunk;
+
+  // Legacy Stack-Stealing toggle: steal all lowest-depth siblings. Kept for
+  // the paper's original boolean ablation; equivalent to chunk = "all" when
+  // `chunk` is still the default "one".
   bool chunked = false;
+
+  // The chunking policy actually in force once the legacy flag is folded in.
+  ChunkPolicy effectiveChunk() const {
+    if (chunked && chunk.kind == ChunkKind::One) {
+      return ChunkPolicy{ChunkKind::All, 0};
+    }
+    return chunk;
+  }
 
   // RandomSpawn: expected one task spawned per this many children generated
   // (Section 4's "random task creation" extension point). 0 = use default.

@@ -149,8 +149,8 @@ class EngineCtx {
   }
 
   // A steal reply: the echoed request token (so the thief's steal slot can
-  // tell a current reply from a stale one) plus zero or more tasks (empty
-  // = NACK).
+  // tell a current reply from a stale one) plus the stolen chunk - zero or
+  // more tasks in one message (empty = NACK), sized by Params::chunk.
   struct StealReply {
     std::int64_t token = 0;
     std::vector<Task> tasks;
@@ -228,6 +228,7 @@ class EngineCtx {
     }
     reg_.metrics.remoteSteals.fetch_add(reply.tasks.size(),
                                         std::memory_order_relaxed);
+    reg_.metrics.stealReplies.fetch_add(1, std::memory_order_relaxed);
     for (auto& t : reply.tasks) {
       int depth = t.depth;
       pool_->push(std::move(t), depth);
@@ -249,15 +250,14 @@ class EngineCtx {
       reg_.stop.store(true, std::memory_order_relaxed);
     });
 
-    // A remote idle locality asks our workpool for a task. The manager
-    // answers directly; pools are thread-safe.
+    // A remote idle locality asks our workpool for work. The manager
+    // answers directly with a chunk sized by the chunk policy from the
+    // pool's live occupancy; pools are thread-safe.
     locality_.registerHandler(
         rt::tag::kPoolStealRequest, [this](rt::Message&& m) {
           auto token = fromBytes<std::int64_t>(std::move(m.payload));
-          StealReply reply{token, {}};
-          if (auto task = pool_->steal()) {
-            reply.tasks.push_back(std::move(*task));
-          }
+          StealReply reply{token,
+                           pool_->stealChunk(params_.effectiveChunk())};
           locality_.send(m.src, rt::tag::kPoolStealReply, toBytes(reply));
         });
 
@@ -349,7 +349,7 @@ struct Engine {
     for (auto& l : locs) l->term().stop();
     for (auto& l : locs) l->locality().stop();
 
-    return gather(params, locs, timer.elapsedSeconds());
+    return gather(params, locs, timer.elapsedSeconds(), net);
   }
 
  private:
@@ -373,9 +373,12 @@ struct Engine {
   }
 
   static Out gather(const Params& params,
-                    std::vector<std::unique_ptr<Ctx>>& locs, double elapsed) {
+                    std::vector<std::unique_ptr<Ctx>>& locs, double elapsed,
+                    const rt::Network& net) {
     Out out;
     out.elapsedSeconds = elapsed;
+    out.metrics.networkMessages = net.messagesSent();
+    out.metrics.networkBytes = net.bytesSent();
     for (auto& l : locs) {
       auto& reg = l->reg();
       out.metrics += reg.metrics.snapshot();

@@ -15,26 +15,31 @@
 
 namespace yewpar::detail {
 
-// Split off unexplored subtrees at the lowest depth of the generator stack
-// (closest to the root, hence heuristically the largest). Returns one task,
-// or all siblings at that depth when `chunked` - the (spawn-stack) rule's two
-// variants. The caller is responsible for counting the tasks as created.
+// Split off unexplored subtrees from the generator stack, lowest depth first
+// (closest to the root, hence heuristically the largest). How many is the
+// chunk policy's call - the (spawn-stack) rule generalised from the paper's
+// one/all-siblings pair:
+//   * One takes a single node and All takes every sibling at the lowest
+//     splittable depth (the original boolean `chunked` variants);
+//   * Fixed/Half/Adaptive take up to chunkFor(stack depth) nodes, spilling
+//     into deeper stack levels when the lowest level runs out, so one reply
+//     can carry splits from several depths (multi-split replies). The
+//     generator-stack depth stands in for the victim's pool size here.
+// The caller is responsible for counting the tasks as created.
 template <typename Ctx, typename Gen>
 std::vector<typename Ctx::Task> splitLowest(Ctx&, std::vector<Gen>& genStack,
-                                            int rootDepth, bool chunked) {
+                                            int rootDepth,
+                                            const ChunkPolicy& chunk) {
   std::vector<typename Ctx::Task> out;
+  const bool all = chunk.kind == ChunkKind::All;
+  const std::size_t want = all ? 0 : chunk.chunkFor(genStack.size());
   for (std::size_t gi = 0; gi < genStack.size(); ++gi) {
-    if (genStack[gi].hasNext()) {
-      const auto depth = rootDepth + static_cast<std::int32_t>(gi) + 1;
-      if (chunked) {
-        while (genStack[gi].hasNext()) {
-          out.push_back({genStack[gi].next(), depth});
-        }
-      } else {
-        out.push_back({genStack[gi].next(), depth});
-      }
-      break;
+    if (!genStack[gi].hasNext()) continue;
+    const auto depth = rootDepth + static_cast<std::int32_t>(gi) + 1;
+    while (genStack[gi].hasNext() && (all || out.size() < want)) {
+      out.push_back({genStack[gi].next(), depth});
     }
+    if (all || out.size() >= want) break;
   }
   return out;
 }
@@ -46,8 +51,10 @@ void pollStealRequests(Ctx& ctx, WS& ws, std::vector<Gen>& genStack,
                        int rootDepth) {
   auto& metrics = ctx.reg().metrics;
 
+  const ChunkPolicy chunk = ctx.params().effectiveChunk();
+
   if (ws.stealChan.hasRequest()) {
-    auto tasks = splitLowest(ctx, genStack, rootDepth, ctx.params().chunked);
+    auto tasks = splitLowest(ctx, genStack, rootDepth, chunk);
     if (tasks.empty()) {
       (void)ws.stealChan.respond({});
     } else {
@@ -64,14 +71,14 @@ void pollStealRequests(Ctx& ctx, WS& ws, std::vector<Gen>& genStack,
         }
       } else {
         metrics.localSteals.fetch_add(n, std::memory_order_relaxed);
+        metrics.stealReplies.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
 
   if (ctx.hasPendingRemoteSteal()) {
     if (auto req = ctx.takePendingRemoteSteal()) {
-      auto tasks =
-          splitLowest(ctx, genStack, rootDepth, ctx.params().chunked);
+      auto tasks = splitLowest(ctx, genStack, rootDepth, chunk);
       metrics.tasksSpawned.fetch_add(tasks.size(),
                                      std::memory_order_relaxed);
       // answerRemoteSteal counts non-empty replies as created; an empty

@@ -25,9 +25,13 @@ inline constexpr int kSnapshotReply = 3;     // termination: all -> leader
 inline constexpr int kTerminate = 4;         // termination: leader -> all
 inline constexpr int kBoundUpdate = 10;      // knowledge: broadcast bound
 inline constexpr int kPoolStealRequest = 11; // workpool: idle loc -> victim
-inline constexpr int kPoolStealReply = 12;   // workpool: task or nack
+inline constexpr int kPoolStealReply = 12;   // workpool: task chunk or nack
 inline constexpr int kStackStealRequest = 13;// stack-stealing: remote steal
-inline constexpr int kStackStealReply = 14;  // stack-stealing: task or nack
+inline constexpr int kStackStealReply = 14;  // stack-stealing: split chunk
+                                             // or nack
+// Both steal replies carry a StealReply payload whose task vector holds the
+// whole chunk (Params::chunk policy), so a steal moves several tasks per
+// request/reply round-trip instead of one.
 inline constexpr int kSpaceBroadcast = 15;   // replicate the search space
 inline constexpr int kGatherRequest = 20;    // collect per-locality results
 inline constexpr int kGatherReply = 21;

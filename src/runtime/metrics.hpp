@@ -17,11 +17,29 @@ struct MetricsSnapshot {
   std::uint64_t tasksSpawned = 0;
   std::uint64_t prunes = 0;
   std::uint64_t backtracks = 0;
-  std::uint64_t localSteals = 0;
-  std::uint64_t remoteSteals = 0;
+  std::uint64_t localSteals = 0;   // tasks moved by local (in-locality) steals
+  std::uint64_t remoteSteals = 0;  // tasks moved by remote steal replies
   std::uint64_t failedSteals = 0;
+  // Successful steal transactions (replies that carried >= 1 task), local
+  // and remote combined. tasksPerSteal() = stolen tasks / transactions is
+  // the chunking ablation's headline number: "one" pins it at 1.0, chunked
+  // policies amortise the request/reply round-trip over several tasks.
+  std::uint64_t stealReplies = 0;
   std::uint64_t boundBroadcasts = 0;
   std::uint64_t boundUpdatesApplied = 0;
+  // Network totals, filled once at gather time from rt::Network (they are
+  // fabric-wide, not per-locality).
+  std::uint64_t networkMessages = 0;
+  std::uint64_t networkBytes = 0;
+
+  std::uint64_t tasksStolen() const { return localSteals + remoteSteals; }
+
+  double tasksPerSteal() const {
+    return stealReplies == 0
+               ? 0.0
+               : static_cast<double>(tasksStolen()) /
+                     static_cast<double>(stealReplies);
+  }
 
   MetricsSnapshot& operator+=(const MetricsSnapshot& o) {
     nodesProcessed += o.nodesProcessed;
@@ -31,20 +49,24 @@ struct MetricsSnapshot {
     localSteals += o.localSteals;
     remoteSteals += o.remoteSteals;
     failedSteals += o.failedSteals;
+    stealReplies += o.stealReplies;
     boundBroadcasts += o.boundBroadcasts;
     boundUpdatesApplied += o.boundUpdatesApplied;
+    networkMessages += o.networkMessages;
+    networkBytes += o.networkBytes;
     return *this;
   }
 
   void save(OArchive& a) const {
     a << nodesProcessed << tasksSpawned << prunes << backtracks << localSteals
-      << remoteSteals << failedSteals << boundBroadcasts
-      << boundUpdatesApplied;
+      << remoteSteals << failedSteals << stealReplies << boundBroadcasts
+      << boundUpdatesApplied << networkMessages << networkBytes;
   }
   void load(IArchive& a) {
     a >> nodesProcessed >> tasksSpawned >> prunes >> backtracks >>
-        localSteals >> remoteSteals >> failedSteals >> boundBroadcasts >>
-        boundUpdatesApplied;
+        localSteals >> remoteSteals >> failedSteals >> stealReplies >>
+        boundBroadcasts >> boundUpdatesApplied >> networkMessages >>
+        networkBytes;
   }
 };
 
@@ -57,6 +79,7 @@ struct Metrics {
   std::atomic<std::uint64_t> localSteals{0};
   std::atomic<std::uint64_t> remoteSteals{0};
   std::atomic<std::uint64_t> failedSteals{0};
+  std::atomic<std::uint64_t> stealReplies{0};
   std::atomic<std::uint64_t> boundBroadcasts{0};
   std::atomic<std::uint64_t> boundUpdatesApplied{0};
 
@@ -69,6 +92,7 @@ struct Metrics {
     s.localSteals = localSteals.load(std::memory_order_relaxed);
     s.remoteSteals = remoteSteals.load(std::memory_order_relaxed);
     s.failedSteals = failedSteals.load(std::memory_order_relaxed);
+    s.stealReplies = stealReplies.load(std::memory_order_relaxed);
     s.boundBroadcasts = boundBroadcasts.load(std::memory_order_relaxed);
     s.boundUpdatesApplied =
         boundUpdatesApplied.load(std::memory_order_relaxed);

@@ -16,12 +16,14 @@ Network::Network(int nLocalities, double delayMicros)
 void Network::send(Message m) {
   assert(m.dst >= 0 && m.dst < size());
   auto deliverAt = Clock::now() + delay_;
+  const std::uint64_t payloadBytes = m.payload.size();
   Inbox& box = *inboxes_[static_cast<std::size_t>(m.dst)];
   {
     std::lock_guard lock(box.mtx);
     box.queue.push_back(Pending{deliverAt, std::move(m)});
   }
   sent_.fetch_add(1, std::memory_order_relaxed);
+  sentBytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
   box.cv.notify_all();
 }
 
@@ -70,6 +72,10 @@ std::optional<Message> Network::recvWait(int loc,
 
 std::uint64_t Network::messagesSent() const {
   return sent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Network::bytesSent() const {
+  return sentBytes_.load(std::memory_order_relaxed);
 }
 
 }  // namespace yewpar::rt

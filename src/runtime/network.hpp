@@ -40,8 +40,11 @@ class Network {
   // Blocking receive with timeout; returns nothing on timeout.
   std::optional<Message> recvWait(int loc, std::chrono::microseconds timeout);
 
-  // Total messages sent so far (for metrics and tests).
+  // Total messages / payload bytes sent so far (for metrics and tests).
+  // Chunked steal replies shrink messagesSent for the same work moved; the
+  // chunking ablation reports both.
   std::uint64_t messagesSent() const;
+  std::uint64_t bytesSent() const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -60,6 +63,7 @@ class Network {
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::chrono::microseconds delay_;
   std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> sentBytes_{0};
 };
 
 }  // namespace yewpar::rt

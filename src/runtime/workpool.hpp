@@ -4,23 +4,51 @@
 //
 // DepthPool is the bespoke *order-preserving* workpool of Section 4.3: tasks
 // are bucketed by the search-tree depth at which they were spawned, FIFO
-// within a bucket. Local pops and steals both take from the shallowest
-// non-empty bucket, so tasks are handed out (a) heuristic-first within a
-// depth (left-to-right order is preserved) and (b) big-subtree-first across
-// depths (tasks near the root are expected to be the largest).
+// within a bucket, handed out (a) heuristic-first within a depth
+// (left-to-right order is preserved) and (b) big-subtree-first across depths
+// (tasks near the root are expected to be the largest).
 //
 // DequePool is the conventional Cilk-style pool (LIFO local pop, FIFO steal)
 // that the paper argues *breaks* heuristic search order; it is provided for
 // the ablation benchmark.
+//
+// Steal-end semantics (intentional, per policy - steals are NOT pop
+// aliases):
+//
+//   pool          local pop                  steal / stealMany
+//   ------------  -------------------------  --------------------------------
+//   DepthPool     shallowest bucket, FRONT   shallowest bucket, BACK: thieves
+//                 (heuristic-best first)     receive same-depth (hence large)
+//                                            subtrees while the heuristic-
+//                                            best tasks stay with the local
+//                                            workers; a stolen chunk keeps
+//                                            its relative FIFO order
+//   DequePool     back (LIFO) or front       FRONT: the oldest tasks, closest
+//                 (FIFO) per constructor     to the root
+//   PriorityPool  lowest sequence number     lowest sequence number: the
+//                                            global order is the guarantee,
+//                                            so there is no distinct steal
+//                                            end; a stolen chunk is handed
+//                                            out in ascending sequence order
+//
+// All pools support chunked hand-out (steal replies carrying several tasks
+// in one message): stealMany(k) for an explicit count, stealChunk(policy)
+// to size the chunk from the pool's live occupancy under the same lock that
+// takes the tasks, steal() as the k == 1 special case.
 
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace yewpar::rt {
 
@@ -31,6 +59,91 @@ enum class PoolPolicy {
   Priority,   // strict sequential-order priority pool (Ordered skeleton)
 };
 
+// How many tasks a single steal reply carries (paper Section 4.2's chunking
+// ablation, generalised from the boolean `chunked` flag to a policy). The
+// same policy drives both steal protocols: pool steals (Depth-Bounded /
+// Budget / Ordered victims hand out workpool tasks) and stack steals
+// (Stack-Stealing victims split their generator stack).
+enum class ChunkKind : std::uint8_t {
+  One,       // one task per reply (the unchunked baseline)
+  Fixed,     // up to k tasks per reply
+  Half,      // half of the victim's available work
+  Adaptive,  // ~sqrt of the victim's available work: the thief receives more
+             // when the victim is loaded, the victim always keeps the bulk
+  All,       // everything available at the split point; for stack splits this
+             // is all siblings at the lowest depth - the legacy `chunked`
+};
+
+struct ChunkPolicy {
+  ChunkKind kind = ChunkKind::One;
+  std::uint32_t k = 4;  // chunk size when kind == Fixed
+
+  // Number of tasks a steal reply should aim to carry, given the victim's
+  // currently available work (workpool size, or generator-stack depth as a
+  // proxy for stack splits). Always >= 1 so a lone task can still move.
+  std::size_t chunkFor(std::size_t available) const {
+    switch (kind) {
+      case ChunkKind::One: return 1;
+      case ChunkKind::Fixed: return k > 0 ? k : 1;
+      case ChunkKind::Half: return available / 2 > 1 ? available / 2 : 1;
+      case ChunkKind::Adaptive: {
+        std::size_t c = 1;
+        while ((c + 1) * (c + 1) <= available) ++c;  // floor(sqrt(available))
+        return c;
+      }
+      case ChunkKind::All: return available > 0 ? available : 1;
+    }
+    return 1;
+  }
+};
+
+// Parse "one" | "fixed[:k]" | "half" | "adaptive" | "all" (the
+// `--chunk-policy` flag syntax). Throws std::invalid_argument on anything
+// else, including fixed:k with k outside [1, 2^32-1].
+inline ChunkPolicy parseChunkPolicy(const std::string& spec) {
+  ChunkPolicy p;
+  if (spec == "one") return p;
+  if (spec == "half") {
+    p.kind = ChunkKind::Half;
+    return p;
+  }
+  if (spec == "adaptive") {
+    p.kind = ChunkKind::Adaptive;
+    return p;
+  }
+  if (spec == "all") {
+    p.kind = ChunkKind::All;
+    return p;
+  }
+  if (spec == "fixed" || spec.rfind("fixed:", 0) == 0) {
+    p.kind = ChunkKind::Fixed;
+    if (spec != "fixed") {
+      const char* begin = spec.c_str() + 6;
+      char* end = nullptr;
+      const unsigned long long k = std::strtoull(begin, &end, 10);
+      if (end == begin || *end != '\0' || k < 1 || k > 0xFFFFFFFFull) {
+        throw std::invalid_argument(
+            "chunk policy needs fixed:k with 1 <= k <= 2^32-1: " + spec);
+      }
+      p.k = static_cast<std::uint32_t>(k);
+    }
+    return p;
+  }
+  throw std::invalid_argument("unknown chunk policy: " + spec +
+                              " (expected one|fixed[:k]|half|adaptive|all)");
+}
+
+inline std::string chunkPolicyName(const ChunkPolicy& p) {
+  switch (p.kind) {
+    case ChunkKind::One: return "one";
+    case ChunkKind::Fixed: return "fixed:" + std::to_string(p.k);
+    case ChunkKind::Half: return "half";
+    case ChunkKind::Adaptive: return "adaptive";
+    case ChunkKind::All: return "all";
+  }
+  return "?";
+}
+
 template <typename T>
 class Workpool {
  public:
@@ -38,9 +151,26 @@ class Workpool {
 
   virtual void push(T task, int depth) = 0;
   virtual std::optional<T> pop() = 0;
-  // Steal for another worker/locality: may use a different end/bucket.
-  virtual std::optional<T> steal() = 0;
+
+  // Chunked steal for another worker/locality: up to `k` tasks in one
+  // hand-out, taken from the policy's steal end (see the table above) and
+  // preserving the policy's order among the returned tasks. Returns fewer
+  // (possibly zero) tasks when the pool runs dry.
+  virtual std::vector<T> stealMany(std::size_t k) = 0;
+
+  // Policy-sized chunked steal: chunkFor(pool size) and the task grab
+  // happen under one lock, so Half/Adaptive/All size from the occupancy
+  // they actually take from.
+  virtual std::vector<T> stealChunk(const ChunkPolicy& policy) = 0;
+
   virtual std::size_t size() const = 0;
+
+  // Single-task steal: the k == 1 chunk.
+  std::optional<T> steal() {
+    auto chunk = stealMany(1);
+    if (chunk.empty()) return std::nullopt;
+    return std::move(chunk.front());
+  }
 
   // Blocking pop with timeout, shared implementation.
   std::optional<T> popWait(std::chrono::microseconds timeout) {
@@ -74,17 +204,8 @@ class DepthPool final : public Workpool<T> {
     this->notifyWaiters();
   }
 
-  std::optional<T> pop() override { return takeShallowest(); }
-
-  std::optional<T> steal() override { return takeShallowest(); }
-
-  std::size_t size() const override {
-    std::lock_guard lock(mtx_);
-    return count_;
-  }
-
- private:
-  std::optional<T> takeShallowest() {
+  // Local pop: front of the shallowest bucket (heuristic-best first).
+  std::optional<T> pop() override {
     std::lock_guard lock(mtx_);
     for (auto it = buckets_.begin(); it != buckets_.end();) {
       if (it->second.empty()) {
@@ -97,6 +218,48 @@ class DepthPool final : public Workpool<T> {
       return t;
     }
     return std::nullopt;
+  }
+
+  std::vector<T> stealMany(std::size_t k) override {
+    std::lock_guard lock(mtx_);
+    return stealLocked(k);
+  }
+
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
+    std::lock_guard lock(mtx_);
+    return stealLocked(policy.chunkFor(count_));
+  }
+
+  std::size_t size() const override {
+    std::lock_guard lock(mtx_);
+    return count_;
+  }
+
+ private:
+  // Steal under mtx_: back of the shallowest bucket - same depth (hence
+  // comparably large subtrees) as a local pop would get, but the heuristic-
+  // best front stays local. A chunk keeps its relative FIFO order; when the
+  // shallowest bucket cannot fill it, the remainder comes from the next
+  // deeper bucket.
+  std::vector<T> stealLocked(std::size_t k) {
+    std::vector<T> out;
+    for (auto it = buckets_.begin();
+         it != buckets_.end() && out.size() < k;) {
+      auto& dq = it->second;
+      if (dq.empty()) {
+        it = buckets_.erase(it);
+        continue;
+      }
+      const std::size_t take = std::min(k - out.size(), dq.size());
+      const auto first = dq.end() - static_cast<std::ptrdiff_t>(take);
+      for (auto src = first; src != dq.end(); ++src) {
+        out.push_back(std::move(*src));
+      }
+      dq.erase(first, dq.end());
+      count_ -= take;
+      ++it;
+    }
+    return out;
   }
 
   mutable std::mutex mtx_;
@@ -131,12 +294,14 @@ class DequePool final : public Workpool<T> {
     return t;
   }
 
-  std::optional<T> steal() override {
+  std::vector<T> stealMany(std::size_t k) override {
     std::lock_guard lock(mtx_);
-    if (q_.empty()) return std::nullopt;
-    T t = std::move(q_.front());  // steal the oldest (closest to the root)
-    q_.pop_front();
-    return t;
+    return stealLocked(k);
+  }
+
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
+    std::lock_guard lock(mtx_);
+    return stealLocked(policy.chunkFor(q_.size()));
   }
 
   std::size_t size() const override {
@@ -145,6 +310,18 @@ class DequePool final : public Workpool<T> {
   }
 
  private:
+  // Steal under mtx_: the oldest tasks (closest to the root), oldest first.
+  std::vector<T> stealLocked(std::size_t k) {
+    std::vector<T> out;
+    const std::size_t take = std::min(k, q_.size());
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return out;
+  }
+
   mutable std::mutex mtx_;
   std::deque<T> q_;
   bool lifoLocal_;
@@ -156,7 +333,9 @@ class DequePool final : public Workpool<T> {
 // This is the strongest form of heuristic-order preservation: the task
 // execution order is a prefix-parallelisation of the sequential order, the
 // key ingredient of replicable branch-and-bound (paper Section 2.1's
-// anomaly discussion and ref [4]).
+// anomaly discussion and ref [4]). A chunked steal hands out the k lowest
+// sequence numbers in ascending order, so a thief replaying the chunk
+// through its own priority pool preserves the global order.
 template <typename T>
   requires requires(T t) { t.seq; }
 class PriorityPool final : public Workpool<T> {
@@ -170,8 +349,21 @@ class PriorityPool final : public Workpool<T> {
     this->notifyWaiters();
   }
 
-  std::optional<T> pop() override { return take(); }
-  std::optional<T> steal() override { return take(); }
+  std::optional<T> pop() override {
+    std::lock_guard lock(mtx_);
+    if (heap_.empty()) return std::nullopt;
+    return takeTop();
+  }
+
+  std::vector<T> stealMany(std::size_t k) override {
+    std::lock_guard lock(mtx_);
+    return stealLocked(k);
+  }
+
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
+    std::lock_guard lock(mtx_);
+    return stealLocked(policy.chunkFor(heap_.size()));
+  }
 
   std::size_t size() const override {
     std::lock_guard lock(mtx_);
@@ -181,9 +373,18 @@ class PriorityPool final : public Workpool<T> {
  private:
   static bool cmp(const T& a, const T& b) { return a.seq > b.seq; }
 
-  std::optional<T> take() {
-    std::lock_guard lock(mtx_);
-    if (heap_.empty()) return std::nullopt;
+  std::vector<T> stealLocked(std::size_t k) {
+    std::vector<T> out;
+    const std::size_t take = std::min(k, heap_.size());
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(takeTop());
+    }
+    return out;
+  }
+
+  // Caller holds mtx_ and guarantees the heap is non-empty.
+  T takeTop() {
     std::pop_heap(heap_.begin(), heap_.end(), cmp);
     T t = std::move(heap_.back());
     heap_.pop_back();

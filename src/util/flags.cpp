@@ -61,6 +61,13 @@ long Flags::getInt(const std::string& key, long dflt) const {
   return std::strtol(v->c_str(), nullptr, 10);
 }
 
+std::uint64_t Flags::getUint64(const std::string& key,
+                               std::uint64_t dflt) const {
+  auto v = raw(key);
+  if (!v) return dflt;
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
 double Flags::getDouble(const std::string& key, double dflt) const {
   auto v = raw(key);
   if (!v) return dflt;

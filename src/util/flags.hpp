@@ -5,6 +5,7 @@
 // mirroring the style of YewPar's application drivers
 // (e.g. `maxclique --skeleton depthbounded -d 2 --hpx:threads 4`).
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,6 +22,9 @@ class Flags {
 
   std::string getString(const std::string& key, const std::string& dflt) const;
   long getInt(const std::string& key, long dflt) const;
+  // Full-range unsigned values (budgets, chunk sizes, node caps) that a
+  // `long` would truncate on 32-bit longs.
+  std::uint64_t getUint64(const std::string& key, std::uint64_t dflt) const;
   double getDouble(const std::string& key, double dflt) const;
   bool getBool(const std::string& key, bool dflt = false) const;
 

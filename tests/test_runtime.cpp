@@ -197,6 +197,142 @@ TEST(DequePool, FifoLocal) {
   EXPECT_EQ(pool.pop().value(), 1);
 }
 
+TEST(Workpool, StealManyOnEmptyPoolReturnsNothing) {
+  DepthPool<int> dp;
+  EXPECT_TRUE(dp.stealMany(4).empty());
+  EXPECT_FALSE(dp.steal().has_value());
+  DequePool<int> qp(/*lifoLocal=*/true);
+  EXPECT_TRUE(qp.stealMany(4).empty());
+  EXPECT_TRUE(qp.stealMany(0).empty());
+}
+
+TEST(Workpool, StealManyLargerThanPoolDrainsIt) {
+  DequePool<int> pool(/*lifoLocal=*/true);
+  pool.push(1, 0);
+  pool.push(2, 0);
+  pool.push(3, 0);
+  auto chunk = pool.stealMany(99);
+  EXPECT_EQ(chunk, (std::vector<int>{1, 2, 3}));  // oldest first
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.stealMany(1).empty());
+}
+
+TEST(DepthPool, StealTakesBackOfShallowestBucket) {
+  // Steal is not a pop alias: local pops get the heuristic-best (front) of
+  // the shallowest bucket, thieves get the back of that same bucket.
+  DepthPool<int> pool;
+  pool.push(10, 1);
+  pool.push(11, 1);
+  pool.push(12, 1);
+  pool.push(20, 2);
+  EXPECT_EQ(pool.steal().value(), 12);
+  EXPECT_EQ(pool.pop().value(), 10);
+  EXPECT_EQ(pool.steal().value(), 11);
+  EXPECT_EQ(pool.steal().value(), 20);
+  EXPECT_FALSE(pool.steal().has_value());
+}
+
+TEST(DepthPool, StealManyKeepsChunkOrderAndSpillsDeeper) {
+  DepthPool<int> pool;
+  pool.push(10, 1);
+  pool.push(11, 1);
+  pool.push(12, 1);
+  pool.push(20, 2);
+  pool.push(21, 2);
+  // k above the shallowest bucket's size: the whole depth-1 bucket in FIFO
+  // order, then the back of depth 2.
+  auto chunk = pool.stealMany(4);
+  EXPECT_EQ(chunk, (std::vector<int>{10, 11, 12, 21}));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.pop().value(), 20);
+}
+
+TEST(Workpool, StealChunkSizesFromLiveOccupancy) {
+  // Half/Adaptive/All size the chunk and take the tasks under one lock, so
+  // the count always reflects the occupancy they steal from.
+  DepthPool<int> pool;
+  for (int i = 0; i < 10; ++i) pool.push(i, 0);
+  EXPECT_EQ(pool.stealChunk(parseChunkPolicy("half")).size(), 5u);
+  EXPECT_EQ(pool.stealChunk(parseChunkPolicy("all")).size(), 5u);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.stealChunk(parseChunkPolicy("adaptive")).empty());
+  DequePool<int> qp(/*lifoLocal=*/true);
+  qp.push(1, 0);
+  qp.push(2, 0);
+  qp.push(3, 0);
+  EXPECT_EQ(qp.stealChunk(parseChunkPolicy("fixed:2")).size(), 2u);
+  EXPECT_EQ(qp.size(), 1u);
+}
+
+namespace {
+struct SeqTask {
+  std::uint64_t seq = 0;
+};
+}  // namespace
+
+TEST(PriorityPool, StealManyHandsOutAscendingSeq) {
+  PriorityPool<SeqTask> pool;
+  for (std::uint64_t s : {5u, 1u, 4u, 2u, 3u}) {
+    pool.push(SeqTask{s}, 0);
+  }
+  // A chunked hand-out preserves the global sequence order: the k lowest
+  // sequence numbers, ascending.
+  auto chunk = pool.stealMany(3);
+  ASSERT_EQ(chunk.size(), 3u);
+  EXPECT_EQ(chunk[0].seq, 1u);
+  EXPECT_EQ(chunk[1].seq, 2u);
+  EXPECT_EQ(chunk[2].seq, 3u);
+  // Local pops continue exactly where the chunk left off.
+  EXPECT_EQ(pool.pop().value().seq, 4u);
+  // k larger than the pool returns just the remainder.
+  auto rest = pool.stealMany(10);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seq, 5u);
+  EXPECT_TRUE(pool.stealMany(1).empty());
+}
+
+TEST(DepthPool, ConcurrentChunkedStealersLoseNothing) {
+  // Chunked-steal stress (the CI TSan lane runs this suite): producers push
+  // while two thieves stealMany(7) and one local worker pops; every task
+  // must be handed out exactly once.
+  DepthPool<int> pool;
+  constexpr int kPerProducer = 4000;
+  std::atomic<int> taken{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.push(p * kPerProducer + i, i % 5);
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto chunk = pool.stealMany(7);
+        if (!chunk.empty()) {
+          taken.fetch_add(static_cast<int>(chunk.size()));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      if (pool.pop()) taken.fetch_add(1);
+    }
+  });
+  threads[0].join();
+  threads[1].join();
+  while (taken.load() + static_cast<int>(pool.size()) < 2 * kPerProducer) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::size_t t = 2; t < threads.size(); ++t) threads[t].join();
+  while (pool.pop()) taken.fetch_add(1);
+  EXPECT_EQ(taken.load(), 2 * kPerProducer);
+}
+
 TEST(Workpool, PopWaitWakesOnPush) {
   DepthPool<int> pool;
   std::thread producer([&] {

@@ -244,6 +244,16 @@ TEST(Flags, BoolEqualsForm) {
   ASSERT_EQ(f.positional().size(), 1u);
 }
 
+TEST(Flags, Uint64FullRange) {
+  // Budgets / node caps / chunk sizes can exceed what a 32-bit long holds.
+  const char* argv[] = {"prog", "--b", "18446744073709551615",
+                        "--chunk-size", "8"};
+  Flags f(5, argv);
+  EXPECT_EQ(f.getUint64("b", 0), 18446744073709551615ull);
+  EXPECT_EQ(f.getUint64("chunk-size", 1), 8u);
+  EXPECT_EQ(f.getUint64("missing", 42), 42u);
+}
+
 TEST(Flags, NegativeNumberIsValue) {
   const char* argv[] = {"prog", "--offset", "-5"};
   Flags f(3, argv);
