@@ -41,7 +41,33 @@ inline Params paramsFromFlags(const Flags& f) {
     p.chunk.k = static_cast<std::uint32_t>(k);
   }
   p.decisionTarget = f.getInt("decisionBound", 0);
-  p.networkDelayMicros = f.getDouble("netdelay", 0.0);
+  // Simulated transport (docs/FLAGS.md): --net-batch sizes the per-link send
+  // buffer (1 = flush every send), --net-flush-us bounds how long a buffered
+  // message may wait, --net-queue-cap bounds the in-flight queue per link
+  // (0 = unbounded; overflow sheds to a spill list, adding latency),
+  // --net-delay picks the per-link delay model, --net-seed its RNG seed.
+  // The legacy --netdelay us stays as shorthand for --net-delay fixed:us
+  // and loses to an explicit --net-delay.
+  {
+    const auto batch = f.getUint64("net-batch", 1);
+    if (batch < 1) {
+      throw std::invalid_argument("--net-batch needs a size >= 1");
+    }
+    p.net.batchSize = static_cast<std::size_t>(batch);
+    p.net.flushAfter = std::chrono::microseconds(
+        static_cast<std::int64_t>(f.getUint64("net-flush-us", 100)));
+    p.net.queueCap =
+        static_cast<std::size_t>(f.getUint64("net-queue-cap", 0));
+    if (auto spec = f.raw("net-delay")) {
+      p.net.delay = rt::DelayModel::parse(*spec);
+    } else {
+      // Only fold the legacy flag in when no model was given explicitly:
+      // effectiveNet() cannot tell an explicit `--net-delay none` from the
+      // default, so `--netdelay 500 --net-delay none` must stay delay-free.
+      p.networkDelayMicros = f.getDouble("netdelay", 0.0);
+    }
+    p.net.seed = f.getUint64("net-seed", p.net.seed);
+  }
   return p;
 }
 
@@ -96,9 +122,22 @@ void printMetrics(const Out& out) {
   std::printf("chunking:  %llu steal replies, %.2f tasks/steal\n",
               static_cast<unsigned long long>(out.metrics.stealReplies),
               out.metrics.tasksPerSteal());
-  std::printf("network:   %llu msgs / %llu payload bytes\n",
+  std::printf("network:   %llu msgs / %llu payload bytes / %llu frames "
+              "(%llu batched, %llu immediate)\n",
               static_cast<unsigned long long>(out.metrics.networkMessages),
-              static_cast<unsigned long long>(out.metrics.networkBytes));
+              static_cast<unsigned long long>(out.metrics.networkBytes),
+              static_cast<unsigned long long>(out.metrics.networkFrames),
+              static_cast<unsigned long long>(out.metrics.networkBatched),
+              static_cast<unsigned long long>(out.metrics.networkImmediate));
+  std::printf("links:     queue high-water %llu, %llu spilled "
+              "(back-pressure), sim latency p50/p99 <= %llu/%llu us\n",
+              static_cast<unsigned long long>(
+                  out.metrics.linkQueueHighWater),
+              static_cast<unsigned long long>(out.metrics.networkSpills),
+              static_cast<unsigned long long>(
+                  out.metrics.netLatencyQuantileMicros(0.50)),
+              static_cast<unsigned long long>(
+                  out.metrics.netLatencyQuantileMicros(0.99)));
   std::printf("bounds:    %llu broadcast / %llu applied\n",
               static_cast<unsigned long long>(out.metrics.boundBroadcasts),
               static_cast<unsigned long long>(

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "runtime/network.hpp"
 #include "runtime/workpool.hpp"
 
 namespace yewpar {
@@ -16,6 +17,11 @@ using ChunkKind = rt::ChunkKind;
 using ChunkPolicy = rt::ChunkPolicy;
 using rt::chunkPolicyName;
 using rt::parseChunkPolicy;
+
+// The simulated transport's knobs live with the network (runtime layer);
+// re-exported for the same reason.
+using DelayModel = rt::DelayModel;
+using NetConfig = rt::NetConfig;
 
 struct Params {
   // Parallel layout. One locality models one machine of the paper's cluster;
@@ -58,8 +64,26 @@ struct Params {
   // Workpool policy (DepthPool preserves heuristic order; see ablation A).
   rt::PoolPolicy pool = rt::PoolPolicy::Depth;
 
-  // Simulated one-way network latency between localities, microseconds.
+  // Simulated transport configuration: send-buffer batching (--net-batch,
+  // --net-flush-us), bounded per-link queues with back-pressure
+  // (--net-queue-cap), and the per-link delay distribution (--net-delay,
+  // --net-seed). See rt::NetConfig.
+  NetConfig net;
+
+  // Legacy flag (--netdelay): fixed one-way latency between localities in
+  // microseconds. Folded into net.delay by effectiveNet() when no delay
+  // model was configured explicitly.
   double networkDelayMicros = 0.0;
+
+  // The transport configuration actually in force once the legacy fixed
+  // delay is folded in.
+  NetConfig effectiveNet() const {
+    NetConfig c = net;
+    if (c.delay.kind == DelayModel::Kind::None && networkDelayMicros > 0) {
+      c.delay = DelayModel{DelayModel::Kind::Fixed, networkDelayMicros, 0.0};
+    }
+    return c;
+  }
 
   // Safety cap on processed nodes per search, 0 = unlimited. When hit, the
   // search drains without expanding further and the outcome is flagged

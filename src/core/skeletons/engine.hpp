@@ -319,7 +319,7 @@ struct Engine {
     Timer timer;
     auto spaceBytes = toBytes(space);
 
-    rt::Network net(params.nLocalities, params.networkDelayMicros);
+    rt::Network net(params.nLocalities, params.effectiveNet());
     std::vector<std::unique_ptr<Ctx>> locs;
     locs.reserve(static_cast<std::size_t>(params.nLocalities));
     for (int i = 0; i < params.nLocalities; ++i) {
@@ -348,6 +348,10 @@ struct Engine {
 
     for (auto& l : locs) l->term().stop();
     for (auto& l : locs) l->locality().stop();
+
+    // Frame out anything still buffered so the batching accounting is
+    // exact: batched + immediate == messages in the gathered metrics.
+    net.flushAll();
 
     return gather(params, locs, timer.elapsedSeconds(), net);
   }
@@ -379,6 +383,12 @@ struct Engine {
     out.elapsedSeconds = elapsed;
     out.metrics.networkMessages = net.messagesSent();
     out.metrics.networkBytes = net.bytesSent();
+    out.metrics.networkFrames = net.framesSent();
+    out.metrics.networkBatched = net.batchedMessages();
+    out.metrics.networkImmediate = net.immediateMessages();
+    out.metrics.networkSpills = net.spilledMessages();
+    out.metrics.linkQueueHighWater = net.queueHighWater();
+    out.metrics.netLatencyHist = net.latencyHistogram();
     for (auto& l : locs) {
       auto& reg = l->reg();
       out.metrics += reg.metrics.snapshot();

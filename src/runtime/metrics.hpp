@@ -5,12 +5,29 @@
 // harness reports (nodes searched measures speculative work; spawns/steals
 // measure coordination volume; see DESIGN.md substitution 2).
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 #include "util/archive.hpp"
 
 namespace yewpar::rt {
+
+// Simulated-latency histogram resolution: bucket i counts messages whose
+// modelled one-way latency was in [2^(i-1), 2^i) microseconds (bucket 0 is
+// < 1us), so 24 buckets reach ~8.4 seconds.
+inline constexpr int kNetLatencyBuckets = 24;
+
+inline int netLatencyBucketFor(std::uint64_t micros) {
+  const int w = std::bit_width(micros);  // 0 for 0, else floor(log2)+1
+  return w < kNetLatencyBuckets ? w : kNetLatencyBuckets - 1;
+}
+
+// Upper bound (microseconds) of histogram bucket i, for reporting.
+inline std::uint64_t netLatencyBucketUpperMicros(int bucket) {
+  return std::uint64_t{1} << bucket;
+}
 
 struct MetricsSnapshot {
   std::uint64_t nodesProcessed = 0;
@@ -28,9 +45,22 @@ struct MetricsSnapshot {
   std::uint64_t boundBroadcasts = 0;
   std::uint64_t boundUpdatesApplied = 0;
   // Network totals, filled once at gather time from rt::Network (they are
-  // fabric-wide, not per-locality).
+  // fabric-wide, not per-locality). networkMessages counts logical sends;
+  // networkFrames counts wire frames (one per batch flush), so
+  // frames <= messages and the gap is what batching saved. batched +
+  // immediate splits the messages by whether their frame carried >= 2.
   std::uint64_t networkMessages = 0;
   std::uint64_t networkBytes = 0;
+  std::uint64_t networkFrames = 0;
+  std::uint64_t networkBatched = 0;
+  std::uint64_t networkImmediate = 0;
+  // Messages shed to a spill list because their link was at --net-queue-cap
+  // (back-pressure events; they are delivered later, never lost).
+  std::uint64_t networkSpills = 0;
+  // Highest in-flight queue depth observed on any single link.
+  std::uint64_t linkQueueHighWater = 0;
+  // Histogram of modelled one-way latencies (see netLatencyBucketFor).
+  std::array<std::uint64_t, kNetLatencyBuckets> netLatencyHist{};
 
   std::uint64_t tasksStolen() const { return localSteals + remoteSteals; }
 
@@ -39,6 +69,24 @@ struct MetricsSnapshot {
                ? 0.0
                : static_cast<double>(tasksStolen()) /
                      static_cast<double>(stealReplies);
+  }
+
+  // Approximate simulated-latency percentile from the histogram: the upper
+  // bound of the bucket containing the q-quantile message, in microseconds.
+  // Returns 0 when no latency was recorded.
+  std::uint64_t netLatencyQuantileMicros(double q) const {
+    std::uint64_t total = 0;
+    for (auto c : netLatencyHist) total += c;
+    if (total == 0) return 0;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNetLatencyBuckets; ++i) {
+      seen += netLatencyHist[i];
+      if (static_cast<double>(seen) >= target) {
+        return netLatencyBucketUpperMicros(i);
+      }
+    }
+    return netLatencyBucketUpperMicros(kNetLatencyBuckets - 1);
   }
 
   MetricsSnapshot& operator+=(const MetricsSnapshot& o) {
@@ -54,19 +102,36 @@ struct MetricsSnapshot {
     boundUpdatesApplied += o.boundUpdatesApplied;
     networkMessages += o.networkMessages;
     networkBytes += o.networkBytes;
+    networkFrames += o.networkFrames;
+    networkBatched += o.networkBatched;
+    networkImmediate += o.networkImmediate;
+    networkSpills += o.networkSpills;
+    // A high-water mark, not a volume: combining snapshots keeps the max.
+    if (o.linkQueueHighWater > linkQueueHighWater) {
+      linkQueueHighWater = o.linkQueueHighWater;
+    }
+    for (int i = 0; i < kNetLatencyBuckets; ++i) {
+      netLatencyHist[static_cast<std::size_t>(i)] +=
+          o.netLatencyHist[static_cast<std::size_t>(i)];
+    }
     return *this;
   }
 
   void save(OArchive& a) const {
     a << nodesProcessed << tasksSpawned << prunes << backtracks << localSteals
       << remoteSteals << failedSteals << stealReplies << boundBroadcasts
-      << boundUpdatesApplied << networkMessages << networkBytes;
+      << boundUpdatesApplied << networkMessages << networkBytes
+      << networkFrames << networkBatched << networkImmediate << networkSpills
+      << linkQueueHighWater;
+    for (auto c : netLatencyHist) a << c;
   }
   void load(IArchive& a) {
     a >> nodesProcessed >> tasksSpawned >> prunes >> backtracks >>
         localSteals >> remoteSteals >> failedSteals >> stealReplies >>
         boundBroadcasts >> boundUpdatesApplied >> networkMessages >>
-        networkBytes;
+        networkBytes >> networkFrames >> networkBatched >> networkImmediate >>
+        networkSpills >> linkQueueHighWater;
+    for (auto& c : netLatencyHist) a >> c;
   }
 };
 

@@ -1,81 +1,383 @@
 #include "runtime/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace yewpar::rt {
 
-Network::Network(int nLocalities, double delayMicros)
-    : delay_(static_cast<std::int64_t>(delayMicros)) {
+// ---- DelayModel ----------------------------------------------------------
+
+double DelayModel::sampleMicros(Rng& rng) const {
+  switch (kind) {
+    case Kind::None:
+      return 0.0;
+    case Kind::Fixed:
+      return std::min(a, kMaxDelayMicros);
+    case Kind::Uniform:
+      return std::min(a + (b - a) * rng.uniform(), kMaxDelayMicros);
+    case Kind::Lognormal: {
+      // Box-Muller from two uniforms; nudge u1 away from 0 so log() is
+      // finite. exp(m + s*z) keeps the sample strictly positive with the
+      // heavy right tail the model is for; the ceiling keeps an extreme
+      // tail draw (or a silly log-mean) finite and castable.
+      const double u1 = std::max(rng.uniform(), 1e-12);
+      const double u2 = rng.uniform();
+      const double z = std::sqrt(-2.0 * std::log(u1)) *
+                       std::cos(2.0 * 3.141592653589793 * u2);
+      return std::min(std::exp(a + b * z), kMaxDelayMicros);
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Parse a double strictly: the whole of `s` must be consumed, and the
+// value must be finite (strtod accepts "nan"/"inf", which would poison the
+// delay arithmetic and the int64 cast in enqueueLocked).
+double parseDouble(const std::string& s, const std::string& spec) {
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || !std::isfinite(v)) {
+    throw std::invalid_argument("bad number '" + s + "' in delay model: " +
+                                spec);
+  }
+  return v;
+}
+
+// Split "a,b" after the colon of "uniform:a,b" / "lognormal:m,s".
+std::pair<double, double> parsePair(const std::string& args,
+                                    const std::string& spec) {
+  const auto comma = args.find(',');
+  if (comma == std::string::npos) {
+    throw std::invalid_argument("delay model needs two comma-separated "
+                                "values: " + spec);
+  }
+  return {parseDouble(args.substr(0, comma), spec),
+          parseDouble(args.substr(comma + 1), spec)};
+}
+
+}  // namespace
+
+DelayModel DelayModel::parse(const std::string& spec) {
+  DelayModel m;
+  if (spec == "none") return m;
+  if (spec.rfind("fixed:", 0) == 0) {
+    m.kind = Kind::Fixed;
+    m.a = parseDouble(spec.substr(6), spec);
+    if (m.a < 0) {
+      throw std::invalid_argument("fixed delay must be >= 0 us: " + spec);
+    }
+    return m;
+  }
+  if (spec.rfind("uniform:", 0) == 0) {
+    m.kind = Kind::Uniform;
+    std::tie(m.a, m.b) = parsePair(spec.substr(8), spec);
+    if (m.a < 0 || m.b < m.a) {
+      throw std::invalid_argument(
+          "uniform delay needs 0 <= a <= b us: " + spec);
+    }
+    return m;
+  }
+  if (spec.rfind("lognormal:", 0) == 0) {
+    m.kind = Kind::Lognormal;
+    std::tie(m.a, m.b) = parsePair(spec.substr(10), spec);
+    if (m.b < 0) {
+      throw std::invalid_argument(
+          "lognormal delay needs sigma >= 0: " + spec);
+    }
+    return m;
+  }
+  throw std::invalid_argument(
+      "unknown delay model: " + spec +
+      " (expected none|fixed:us|uniform:a,b|lognormal:m,s)");
+}
+
+namespace {
+
+std::string trimmedDouble(double v) {
+  std::string s = std::to_string(v);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string DelayModel::name() const {
+  switch (kind) {
+    case Kind::None: return "none";
+    case Kind::Fixed: return "fixed:" + trimmedDouble(a);
+    case Kind::Uniform:
+      return "uniform:" + trimmedDouble(a) + "," + trimmedDouble(b);
+    case Kind::Lognormal:
+      return "lognormal:" + trimmedDouble(a) + "," + trimmedDouble(b);
+  }
+  return "?";
+}
+
+// ---- Network -------------------------------------------------------------
+
+Network::Network(int nLocalities, NetConfig cfg)
+    : n_(nLocalities), cfg_(cfg) {
   assert(nLocalities >= 1);
-  inboxes_.reserve(static_cast<std::size_t>(nLocalities));
-  for (int i = 0; i < nLocalities; ++i) {
+  if (cfg_.batchSize == 0) cfg_.batchSize = 1;
+  const auto n = static_cast<std::size_t>(n_);
+  links_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    links_.push_back(std::make_unique<Link>());
+    links_.back()->delayRng = Rng(mix64(cfg_.seed, i + 1));
+  }
+  inboxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
   }
 }
 
-void Network::send(Message m) {
-  assert(m.dst >= 0 && m.dst < size());
-  auto deliverAt = Clock::now() + delay_;
-  const std::uint64_t payloadBytes = m.payload.size();
-  Inbox& box = *inboxes_[static_cast<std::size_t>(m.dst)];
-  {
-    std::lock_guard lock(box.mtx);
-    box.queue.push_back(Pending{deliverAt, std::move(m)});
+Network::Network(int nLocalities, double delayMicros)
+    : Network(nLocalities, [&] {
+        NetConfig c;
+        if (delayMicros > 0) {
+          c.delay = DelayModel{DelayModel::Kind::Fixed, delayMicros, 0.0};
+        }
+        return c;
+      }()) {}
+
+void Network::enqueueLocked(Link& l, Message m, Clock::time_point now,
+                            Clock::time_point sentAt) {
+  const auto delay = std::chrono::microseconds(
+      static_cast<std::int64_t>(cfg_.delay.sampleMicros(l.delayRng)));
+  auto deliverAt = now + delay;
+  // FIFO per link: never deliver before a predecessor on the same link.
+  if (deliverAt < l.fifoFloor) deliverAt = l.fifoFloor;
+  l.fifoFloor = deliverAt;
+  // Modelled latency since the message hit layer 2: the sampled delay plus
+  // any FIFO clamp and (for promoted spills) the congestion wait.
+  const auto latencyUs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(deliverAt -
+                                                            sentAt)
+          .count());
+  l.latency[static_cast<std::size_t>(netLatencyBucketFor(latencyUs))] += 1;
+  l.queue.push_back(Pending{deliverAt, std::move(m)});
+  if (l.queue.size() > l.queueHighWater) l.queueHighWater = l.queue.size();
+}
+
+void Network::flushLocked(Link& l, Clock::time_point now) {
+  if (l.buffer.empty()) return;
+  l.frames.fetch_add(1, std::memory_order_relaxed);
+  if (l.buffer.size() >= 2) {
+    l.batched.fetch_add(l.buffer.size(), std::memory_order_relaxed);
+  } else {
+    l.immediate.fetch_add(1, std::memory_order_relaxed);
   }
-  sent_.fetch_add(1, std::memory_order_relaxed);
-  sentBytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
-  box.cv.notify_all();
+  for (auto& m : l.buffer) {
+    if (cfg_.queueCap != 0 && l.queue.size() >= cfg_.queueCap) {
+      // Back-pressure: shed to the spill list rather than block (a blocked
+      // manager thread could deadlock a steal request/reply cycle) or drop.
+      l.spilled.fetch_add(1, std::memory_order_relaxed);
+      l.spill.push_back(Spilled{now, std::move(m)});
+    } else {
+      enqueueLocked(l, std::move(m), now, now);
+    }
+  }
+  l.buffer.clear();
+}
+
+void Network::drainSpillLocked(Link& l, Clock::time_point now) {
+  while (!l.spill.empty() &&
+         (cfg_.queueCap == 0 || l.queue.size() < cfg_.queueCap)) {
+    Spilled s = std::move(l.spill.front());
+    l.spill.pop_front();
+    enqueueLocked(l, std::move(s.msg), now, s.spilledAt);
+  }
+}
+
+void Network::send(Message m) {
+  assert(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_);
+  const int dst = m.dst;
+  const auto now = Clock::now();
+  Link& l = link(m.src, dst);
+  {
+    std::lock_guard lock(l.mtx);
+    l.messages.fetch_add(1, std::memory_order_relaxed);
+    l.bytes.fetch_add(m.payload.size(), std::memory_order_relaxed);
+    if (m.src == dst) {
+      // Loopback (e.g. the manager shutdown nudge): no batching, no cap, no
+      // modelled delay - it must arrive even on a congested fabric.
+      l.frames.fetch_add(1, std::memory_order_relaxed);
+      l.immediate.fetch_add(1, std::memory_order_relaxed);
+      l.queue.push_back(Pending{now, std::move(m)});
+      if (l.queue.size() > l.queueHighWater) {
+        l.queueHighWater = l.queue.size();
+      }
+    } else {
+      if (l.buffer.empty()) l.flushDue = now + cfg_.flushAfter;
+      l.buffer.push_back(std::move(m));
+      if (l.buffer.size() >= cfg_.batchSize) flushLocked(l, now);
+    }
+  }
+  notifyInbox(dst);
 }
 
 void Network::broadcast(int src, int tagId,
                         const std::vector<std::uint8_t>& payload) {
-  for (int dst = 0; dst < size(); ++dst) {
+  for (int dst = 0; dst < n_; ++dst) {
     if (dst == src) continue;
     send(Message{src, dst, tagId, payload});
   }
 }
 
-std::optional<Message> Network::tryRecv(int loc) {
+void Network::flushAll() {
+  const auto now = Clock::now();
+  for (auto& lp : links_) {
+    std::lock_guard lock(lp->mtx);
+    flushLocked(*lp, now);
+  }
+  for (int dst = 0; dst < n_; ++dst) notifyInbox(dst);
+}
+
+std::optional<Message> Network::pollNow(int loc, Clock::time_point now) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
-  std::lock_guard lock(box.mtx);
-  if (box.queue.empty()) return std::nullopt;
-  if (box.queue.front().deliverAt > Clock::now()) return std::nullopt;
-  Message m = std::move(box.queue.front().msg);
-  box.queue.pop_front();
-  return m;
+  int start;
+  {
+    std::lock_guard g(box.mtx);
+    start = box.nextSrc;
+    box.nextSrc = (box.nextSrc + 1) % n_;
+  }
+  for (int i = 0; i < n_; ++i) {
+    const int src = (start + i) % n_;
+    Link& l = link(src, loc);
+    std::lock_guard lock(l.mtx);
+    if (!l.buffer.empty() && l.flushDue <= now) flushLocked(l, now);
+    drainSpillLocked(l, now);
+    if (!l.queue.empty() && l.queue.front().deliverAt <= now) {
+      Message m = std::move(l.queue.front().msg);
+      l.queue.pop_front();
+      drainSpillLocked(l, now);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Network::tryRecv(int loc) {
+  return pollNow(loc, Clock::now());
+}
+
+Network::Clock::time_point Network::nextEventTime(int loc) {
+  auto next = Clock::time_point::max();
+  for (int src = 0; src < n_; ++src) {
+    Link& l = link(src, loc);
+    std::lock_guard lock(l.mtx);
+    if (!l.buffer.empty() && l.flushDue < next) next = l.flushDue;
+    if (!l.queue.empty() && l.queue.front().deliverAt < next) {
+      next = l.queue.front().deliverAt;
+    }
+  }
+  return next;
 }
 
 std::optional<Message> Network::recvWait(int loc,
                                          std::chrono::microseconds timeout) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
-  auto deadline = Clock::now() + timeout;
-  std::unique_lock lock(box.mtx);
-  while (true) {
-    auto now = Clock::now();
-    if (!box.queue.empty()) {
-      auto at = box.queue.front().deliverAt;
-      if (at <= now) {
-        Message m = std::move(box.queue.front().msg);
-        box.queue.pop_front();
-        return m;
-      }
-      // A message exists but is still "in flight"; wait for its delivery
-      // time (or the caller's deadline, whichever is earlier).
-      box.cv.wait_until(lock, std::min(at, deadline));
-    } else {
-      if (now >= deadline) return std::nullopt;
-      box.cv.wait_until(lock, deadline);
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    std::uint64_t ver;
+    {
+      std::lock_guard g(box.mtx);
+      ver = box.version;
     }
-    if (box.queue.empty() && Clock::now() >= deadline) return std::nullopt;
+    auto now = Clock::now();
+    if (auto m = pollNow(loc, now)) return m;
+    if (now >= deadline) return std::nullopt;
+    // Sleep until a sender bumps the version, the next known event (batch
+    // deadline or in-flight delivery) matures, or the caller's deadline.
+    const auto wake = std::min(deadline, nextEventTime(loc));
+    std::unique_lock lk(box.mtx);
+    box.cv.wait_until(lk, wake, [&] { return box.version != ver; });
   }
 }
 
-std::uint64_t Network::messagesSent() const {
-  return sent_.load(std::memory_order_relaxed);
+void Network::notifyInbox(int dst) {
+  Inbox& box = *inboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard g(box.mtx);
+    ++box.version;
+  }
+  box.cv.notify_all();
 }
 
-std::uint64_t Network::bytesSent() const {
-  return sentBytes_.load(std::memory_order_relaxed);
+// ---- accounting ----------------------------------------------------------
+
+std::uint64_t Network::sumLinks(
+    std::atomic<std::uint64_t> Link::*counter) const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) {
+    total += ((*l).*counter).load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Network::messagesSent() const {
+  return sumLinks(&Link::messages);
+}
+
+std::uint64_t Network::bytesSent() const { return sumLinks(&Link::bytes); }
+
+std::uint64_t Network::framesSent() const { return sumLinks(&Link::frames); }
+
+std::uint64_t Network::batchedMessages() const {
+  return sumLinks(&Link::batched);
+}
+
+std::uint64_t Network::immediateMessages() const {
+  return sumLinks(&Link::immediate);
+}
+
+std::uint64_t Network::spilledMessages() const {
+  return sumLinks(&Link::spilled);
+}
+
+std::size_t Network::queueHighWater() const {
+  std::size_t hw = 0;
+  for (const auto& l : links_) {
+    std::lock_guard lock(l->mtx);
+    hw = std::max(hw, l->queueHighWater);
+  }
+  return hw;
+}
+
+std::array<std::uint64_t, kNetLatencyBuckets> Network::latencyHistogram()
+    const {
+  std::array<std::uint64_t, kNetLatencyBuckets> out{};
+  for (const auto& l : links_) {
+    std::lock_guard lock(l->mtx);
+    for (int i = 0; i < kNetLatencyBuckets; ++i) {
+      out[static_cast<std::size_t>(i)] +=
+          l->latency[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+Network::LinkStats Network::linkStats(int src, int dst) const {
+  const Link& l = link(src, dst);
+  LinkStats s;
+  s.messages = l.messages.load(std::memory_order_relaxed);
+  s.bytes = l.bytes.load(std::memory_order_relaxed);
+  s.frames = l.frames.load(std::memory_order_relaxed);
+  s.batched = l.batched.load(std::memory_order_relaxed);
+  s.immediate = l.immediate.load(std::memory_order_relaxed);
+  s.spilled = l.spilled.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(l.mtx);
+    s.queueHighWater = l.queueHighWater;
+  }
+  return s;
 }
 
 }  // namespace yewpar::rt

@@ -17,6 +17,17 @@
 // no longer matches and leaves the slot alone. Tokens never collide while
 // it matters - a monotonic clock and a strictly positive timeout make
 // every superseding claim strictly newer than the claim it replaces.
+//
+// Engine wiring (core/skeletons/engine.hpp): both remote steal protocols -
+// pool steals (kPoolStealRequest/Reply) and stack steals
+// (kStackStealRequest/Reply) - share one slot per locality, so a locality
+// never has more than one remote steal outstanding regardless of protocol.
+// The token travels inside StealReply{token, tasks} next to the chunk;
+// NACKs (empty chunks) release the slot the same way, so a refused steal
+// frees the thief to try another victim immediately. Expiry covers lost
+// replies on a congested fabric: the transport never drops messages, but a
+// reply stuck behind a full link (see network.hpp back-pressure) can
+// arrive after the timeout, which is exactly the stale-reply case above.
 
 #include <atomic>
 #include <chrono>

@@ -35,6 +35,17 @@
 // in one message): stealMany(k) for an explicit count, stealChunk(policy)
 // to size the chunk from the pool's live occupancy under the same lock that
 // takes the tasks, steal() as the k == 1 special case.
+//
+// Who calls what: local workers pop(); same-locality thieves steal();
+// the engine's manager thread answers a remote kPoolStealRequest with
+// stealChunk(Params::effectiveChunk()) - one ChunkPolicy drives both steal
+// protocols (these pool steals and the Stack-Stealing generator-stack
+// splits in skeletons/stackstealing.hpp). Adaptive's ~sqrt(victim depth)
+// gives thieves more when the victim is loaded while the victim always
+// keeps the bulk; the legacy boolean `chunked` flag maps to All. Chunked
+// replies raise tasks-per-steal above 1 and cut message counts for the
+// same work moved (bench/ablation_chunking); no policy may change a search
+// result (tests/test_chunking.cpp).
 
 #include <algorithm>
 #include <chrono>

@@ -538,6 +538,30 @@ TEST(Network, ConcurrentSendersPreserveCounts) {
   for (int s = 0; s < 3; ++s) EXPECT_EQ(perTag[s], kPerSender);
 }
 
+TEST(Network, PerLinkCountersMatchFabricTotals) {
+  // Regression: per-destination tallies updated outside the link lock raced
+  // the batch flush path; counters are now per-link atomics and the fabric
+  // totals are their sum (the full concurrency stress lives in
+  // test_network.cpp).
+  Network net(3);
+  net.send(Message{0, 1, 1, toBytes(std::int32_t{7})});
+  net.send(Message{0, 2, 2, toBytes(std::int64_t{8})});
+  net.send(Message{1, 2, 3, {}});
+  std::uint64_t msgs = 0, bytes = 0;
+  for (int src = 0; src < 3; ++src) {
+    for (int dst = 0; dst < 3; ++dst) {
+      const auto s = net.linkStats(src, dst);
+      msgs += s.messages;
+      bytes += s.bytes;
+    }
+  }
+  EXPECT_EQ(msgs, net.messagesSent());
+  EXPECT_EQ(bytes, net.bytesSent());
+  EXPECT_EQ(net.linkStats(0, 1).messages, 1u);
+  EXPECT_EQ(net.linkStats(1, 2).bytes, 0u);
+  EXPECT_EQ(net.linkStats(2, 0).messages, 0u);
+}
+
 TEST(Termination, NoFalsePositiveWhileTasksFlow) {
   // Continuously create/complete tasks with a deliberate lag; the detector
   // must never fire while any task is outstanding.
