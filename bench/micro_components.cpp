@@ -8,6 +8,7 @@
 #include "apps/maxclique/graph.hpp"
 #include "apps/maxclique/maxclique.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/transport/wire.hpp"
 #include "runtime/workpool.hpp"
 #include "util/archive.hpp"
 
@@ -97,6 +98,39 @@ void BM_BitsetIntersect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitsetIntersect)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_WireFrameEncodeDecode(benchmark::State& state) {
+  // Per-message framing cost on the TCP transport: header encode + decode
+  // around an archive payload of the given size (the payload bytes move by
+  // pointer on the real path, so the header is the per-frame CPU tax).
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)),
+                                    0x5A);
+  for (auto _ : state) {
+    rt::wire::FrameHeader h;
+    h.payloadLen = static_cast<std::uint32_t>(payload.size());
+    h.tag = static_cast<std::uint32_t>(rt::tag::kPoolStealReply);
+    auto bytes = h.encode();
+    auto back = rt::wire::FrameHeader::decode(bytes.data());
+    benchmark::DoNotOptimize(back.payloadLen);
+  }
+}
+BENCHMARK(BM_WireFrameEncodeDecode)->Arg(64)->Arg(4096);
+
+void BM_HardenedArchiveParse(benchmark::State& state) {
+  // Bounds-checked deserialization of a steal-reply-sized task chunk: the
+  // receive-path cost added by hardening IArchive against hostile frames.
+  const auto& g = benchGraph();
+  auto root = mc::rootNode(g);
+  mc::Gen gen(g, root);
+  std::vector<mc::Node> chunk;
+  for (int i = 0; i < 8 && gen.hasNext(); ++i) chunk.push_back(gen.next());
+  const auto bytes = toBytes(chunk);
+  for (auto _ : state) {
+    auto back = fromBytes<std::vector<mc::Node>>(bytes);
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_HardenedArchiveParse);
 
 }  // namespace
 

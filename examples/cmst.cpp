@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
     auto out = examples::searchWith<cmst::Gen, Decision,
                                     BoundFunction<&cmst::upperBound>>(
         skeleton, params, inst, cmst::rootNode(inst));
+    if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
     std::printf("tree of cost <= %ld: %s\n", budget,
                 out.decided ? "yes" : "no");
     if (out.decided && out.incumbent && out.incumbent->complete) {
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<cmst::Gen, Optimisation,
                                   BoundFunction<&cmst::upperBound>>(
       skeleton, params, inst, cmst::rootNode(inst));
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   if (!out.incumbent || !out.incumbent->complete) {
     std::printf("infeasible: the conflicts rule out every spanning tree\n");
   } else {

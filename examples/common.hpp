@@ -10,11 +10,26 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/yewpar.hpp"
 #include "util/flags.hpp"
 
 namespace yewpar::examples {
+
+// Split a comma-separated `--peers` list ("host:port,host:port,...").
+inline std::vector<std::string> splitPeers(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const auto end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) out.push_back(spec.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 inline Params paramsFromFlags(const Flags& f) {
   Params p;
@@ -68,6 +83,33 @@ inline Params paramsFromFlags(const Flags& f) {
     }
     p.net.seed = f.getUint64("net-seed", p.net.seed);
   }
+  // Multi-process transport (docs/FLAGS.md): `--transport tcp` makes this
+  // process ONE locality of a real socket mesh - `--rank` says which, and
+  // `--peers host:port,...` lists every rank's endpoint (the same list on
+  // every process; its length becomes nLocalities, overriding
+  // --localities). scripts/launch_local.sh spawns all N ranks of the same
+  // command line locally. The default `--transport sim` keeps every
+  // locality simulated in-process.
+  {
+    const auto transport = f.getString("transport", "sim");
+    if (transport == "tcp") {
+      p.transport = TransportKind::Tcp;
+      p.peers = splitPeers(f.getString("peers", ""));
+      if (p.peers.empty()) {
+        throw std::invalid_argument(
+            "--transport tcp needs --peers host:port,host:port,...");
+      }
+      p.rank = static_cast<int>(f.getInt("rank", 0));
+      if (p.rank < 0 || p.rank >= static_cast<int>(p.peers.size())) {
+        throw std::invalid_argument(
+            "--rank must index into the --peers list");
+      }
+      p.nLocalities = static_cast<int>(p.peers.size());
+    } else if (transport != "sim") {
+      throw std::invalid_argument("unknown --transport " + transport +
+                                  " (expected sim|tcp)");
+    }
+  }
   return p;
 }
 
@@ -78,6 +120,11 @@ auto searchWith(const std::string& skeleton, const Params& p,
                 const typename Gen::Space& space,
                 const typename Gen::Node& root) {
   if (skeleton == "seq") {
+    if (p.transport == TransportKind::Tcp) {
+      throw std::runtime_error(
+          "--transport tcp needs a parallel skeleton; the sequential "
+          "skeleton has no runtime to connect ranks");
+    }
     return skeletons::Sequential<Gen, SearchType, Opts...>::search(p, space,
                                                                    root);
   }

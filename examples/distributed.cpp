@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
                                     BoundFunction<&mc::upperBound>,
                                     PruneLevel>(skeleton, p, g,
                                                 mc::rootNode(g));
+    if (!out.isRoot) continue;  // non-zero tcp rank: rank 0 reports
     if (reference < 0) reference = out.objective;
     std::printf(
         "localities=%d workers=%d  clique=%lld  time=%.3fs  nodes=%llu  "

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<ks::Gen, Optimisation,
                                   BoundFunction<&ks::upperBound>>(
       skeleton, params, inst, ks::Node{});
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   std::printf("optimal profit: %lld\nitems:",
               static_cast<long long>(out.objective));
   for (auto i : out.incumbent->chosen) std::printf(" %d", i);

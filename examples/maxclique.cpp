@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     auto out = examples::searchWith<mc::Gen, Decision,
                                     BoundFunction<&mc::upperBound>, PruneLevel>(
         skeleton, params, g, mc::rootNode(g));
+    if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
     std::printf("%lld-clique: %s\n",
                 static_cast<long long>(params.decisionTarget),
                 out.decided ? "FOUND" : "not found");
@@ -60,6 +61,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<mc::Gen, Optimisation,
                                   BoundFunction<&mc::upperBound>, PruneLevel>(
       skeleton, params, g, mc::rootNode(g));
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   std::printf("maximum clique size: %lld\nvertices:",
               static_cast<long long>(out.objective));
   out.incumbent->clique.forEach(

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<ns::Gen, Enumeration<CountByDepth>>(
       skeleton, params, space, ns::rootNode(space));
 
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   std::printf("%-6s %-12s %s\n", "genus", "count", "reference");
   for (std::int32_t g = 0; g <= maxGenus; ++g) {
     const auto counted =

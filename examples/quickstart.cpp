@@ -33,15 +33,19 @@ int main(int argc, char** argv) {
   auto best = examples::searchWith<mc::Gen, Optimisation,
                                    BoundFunction<&mc::upperBound>, PruneLevel>(
       skeleton, params, g, mc::rootNode(g));
-  std::printf("[optimisation] maximum clique size = %lld, members = {",
-              static_cast<long long>(best.objective));
-  bool first = true;
-  best.incumbent->clique.forEach([&](std::size_t v) {
-    std::printf("%s%c", first ? "" : ",", names[v]);
-    first = false;
-  });
-  std::printf("}  (%llu nodes searched)\n",
-              static_cast<unsigned long long>(best.metrics.nodesProcessed));
+  // Under --transport tcp every rank runs all three (collective) searches,
+  // but only rank 0 holds the merged result and prints.
+  if (best.isRoot) {
+    std::printf("[optimisation] maximum clique size = %lld, members = {",
+                static_cast<long long>(best.objective));
+    bool first = true;
+    best.incumbent->clique.forEach([&](std::size_t v) {
+      std::printf("%s%c", first ? "" : ",", names[v]);
+      first = false;
+    });
+    std::printf("}  (%llu nodes searched)\n",
+                static_cast<unsigned long long>(best.metrics.nodesProcessed));
+  }
 
   // 2. Decision: 3-clique. The paper notes only 3 nodes are needed
   // sequentially thanks to the search order heuristic.
@@ -50,14 +54,17 @@ int main(int argc, char** argv) {
   auto found = examples::searchWith<mc::Gen, Decision,
                                     BoundFunction<&mc::upperBound>, PruneLevel>(
       skeleton, dec, g, mc::rootNode(g));
-  std::printf("[decision]     3-clique %s (%llu nodes searched)\n",
-              found.decided ? "exists" : "does not exist",
-              static_cast<unsigned long long>(found.metrics.nodesProcessed));
+  if (found.isRoot) {
+    std::printf("[decision]     3-clique %s (%llu nodes searched)\n",
+                found.decided ? "exists" : "does not exist",
+                static_cast<unsigned long long>(found.metrics.nodesProcessed));
+  }
 
   // 3. Enumeration: count every node of the clique search tree (each node
   // is a distinct clique, including the empty one).
   auto count = examples::searchWith<mc::Gen, Enumeration<CountAll>>(
       skeleton, params, g, mc::rootNode(g));
+  if (!count.isRoot) return 0;
   std::printf("[enumeration]  search tree has %llu nodes (= cliques)\n\n",
               static_cast<unsigned long long>(count.sum));
 

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   params.decisionTarget = static_cast<std::int64_t>(inst.pattern.size());
   auto out = examples::searchWith<sip::Gen, Decision>(skeleton, params, inst,
                                                       sip::rootNode(inst));
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   if (out.decided) {
     std::printf("pattern FOUND; mapping (pattern->target):");
     for (std::size_t i = 0; i < out.incumbent->mapping.size(); ++i) {

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<tsp::Gen, Optimisation,
                                   BoundFunction<&tsp::upperBound>>(
       skeleton, params, inst, tsp::rootNode(inst));
+  if (!out.isRoot) return 0;  // non-zero tcp rank: rank 0 reports
   std::printf("optimal tour cost: %lld\ntour:",
               static_cast<long long>(-out.objective));
   for (auto c : out.incumbent->path) std::printf(" %d", c);

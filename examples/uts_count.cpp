@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   auto out = examples::searchWith<uts::Gen, Enumeration<CountByDepth>>(
       skeleton, params, tree, uts::rootNode(tree));
 
+  if (!out.isRoot) return 0;  // non-zero tcp rank: results shipped to rank 0
   std::uint64_t total = 0;
   for (auto c : out.sum) total += c;
   std::printf("uts: %llu nodes, max depth %zu\n",

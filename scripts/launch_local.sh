@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Launch N ranks of one example/bench binary as real OS processes wired over
+# loopback TCP (--transport tcp), the local stand-in for the paper's
+# `mpiexec -n N ...` cluster runs.
+#
+# Usage:
+#   scripts/launch_local.sh [-n N] [-p BASEPORT] [-o OUTDIR] -- <binary> [args...]
+#
+#   -n N         number of ranks/processes (default 2)
+#   -p BASEPORT  first TCP port; rank i listens on BASEPORT+i (default 9310)
+#   -o OUTDIR    per-rank logs go to OUTDIR/rank-<i>.log (default: a fresh
+#                mktemp -d, printed on exit)
+#   -t SECS      per-rank watchdog; a rank still running after SECS is
+#                killed and the launch fails (default 300)
+#
+# Every rank runs the identical command line plus --transport tcp --rank i
+# --peers 127.0.0.1:p0,...  Rank 0's stdout is echoed once all ranks exit.
+# Exits non-zero (and kills the stragglers) if any rank fails.
+#
+# Example:
+#   scripts/launch_local.sh -n 2 -- \
+#     ./build/examples/uts_count --skeleton stacksteal --workers 2 --depth 7
+
+set -euo pipefail
+
+N=2
+BASEPORT=9310
+OUTDIR=""
+TIMEOUT=300
+
+while getopts "n:p:o:t:" opt; do
+  case "$opt" in
+    n) N="$OPTARG" ;;
+    p) BASEPORT="$OPTARG" ;;
+    o) OUTDIR="$OPTARG" ;;
+    t) TIMEOUT="$OPTARG" ;;
+    *) echo "usage: $0 [-n N] [-p BASEPORT] [-o OUTDIR] -- binary args..." >&2
+       exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ "${1:-}" = "--" ] && shift
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 [-n N] [-p BASEPORT] [-o OUTDIR] -- binary args..." >&2
+  exit 2
+fi
+if [ "$N" -lt 1 ]; then
+  echo "launch_local: -n must be >= 1" >&2
+  exit 2
+fi
+
+if [ -z "$OUTDIR" ]; then
+  OUTDIR="$(mktemp -d -t yewpar-launch.XXXXXX)"
+fi
+mkdir -p "$OUTDIR"
+
+PEERS=""
+for ((i = 0; i < N; i++)); do
+  PEERS+="${PEERS:+,}127.0.0.1:$((BASEPORT + i))"
+done
+
+pids=()
+for ((i = 0; i < N; i++)); do
+  timeout --signal=TERM "$TIMEOUT" \
+    "$@" --transport tcp --rank "$i" --peers "$PEERS" \
+    >"$OUTDIR/rank-$i.log" 2>&1 &
+  pids+=($!)
+done
+
+# Reap ranks as they exit. The first failure kills the survivors at once:
+# a dead rank strands its siblings in connect/termination waits, and there
+# is no point sitting through their watchdogs.
+status=0
+remaining=$N
+declare -a reaped
+while [ "$remaining" -gt 0 ]; do
+  progressed=0
+  for ((i = 0; i < N; i++)); do
+    [ -n "${reaped[$i]:-}" ] && continue
+    if ! kill -0 "${pids[$i]}" 2>/dev/null; then
+      rc=0
+      wait "${pids[$i]}" || rc=$?
+      reaped[$i]=1
+      remaining=$((remaining - 1))
+      progressed=1
+      if [ "$rc" -ne 0 ]; then
+        if [ "$status" -eq 0 ]; then
+          echo "launch_local: rank $i exited non-zero (rc=$rc, log: $OUTDIR/rank-$i.log)" >&2
+          kill "${pids[@]}" 2>/dev/null || true
+        fi
+        status=1
+      fi
+    fi
+  done
+  [ "$remaining" -gt 0 ] && [ "$progressed" -eq 0 ] && sleep 0.2
+done
+
+if [ "$status" -ne 0 ]; then
+  for ((i = 0; i < N; i++)); do
+    echo "--- rank $i log ---" >&2
+    cat "$OUTDIR/rank-$i.log" >&2 || true
+  done
+  exit "$status"
+fi
+
+cat "$OUTDIR/rank-0.log"
+echo "launch_local: $N ranks ok; logs in $OUTDIR" >&2

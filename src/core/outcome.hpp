@@ -29,6 +29,12 @@ struct Outcome {
   // False only if a Params::maxNodes cap cut the search short.
   bool complete = true;
 
+  // True when this Outcome carries the global result. Always true except on
+  // the non-zero ranks of a multi-process (--transport tcp) run, whose local
+  // results were shipped to rank 0 at gather time; drivers print results
+  // only when isRoot is set, so an N-process run reports once.
+  bool isRoot = true;
+
   rt::MetricsSnapshot metrics;
   double elapsedSeconds = 0.0;
 };

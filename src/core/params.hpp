@@ -5,11 +5,20 @@
 // control the parallel search").
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "runtime/network.hpp"
 #include "runtime/workpool.hpp"
 
 namespace yewpar {
+
+// Which transport backend carries inter-locality messages (`--transport`):
+//   Sim - all localities simulated inside this process (rt::InProcTransport,
+//         with the batching/back-pressure/delay layers of Params::net);
+//   Tcp - this process is ONE locality (`--rank`) of a mesh listed in
+//         `--peers`, wired over real sockets (rt::TcpTransport).
+enum class TransportKind : std::uint8_t { Sim, Tcp };
 
 // Steal-reply chunking lives with the workpools (runtime layer); re-exported
 // here because it is part of the user-facing parameter surface.
@@ -84,6 +93,16 @@ struct Params {
     }
     return c;
   }
+
+  // Transport backend selection. Under Tcp, `rank` is this process's
+  // locality id and `peers` lists one host:port per rank (identical on all
+  // processes); nLocalities must equal peers.size(). The engine runs only
+  // rank `rank` locally - work and knowledge cross process boundaries as
+  // real wire frames, and rank 0 collects results from every peer at gather
+  // time.
+  TransportKind transport = TransportKind::Sim;
+  int rank = 0;
+  std::vector<std::string> peers;
 
   // Safety cap on processed nodes per search, 0 = unlimited. When hit, the
   // search drains without expanding further and the outcome is flagged

@@ -25,6 +25,7 @@
 #include "runtime/locality.hpp"
 #include "runtime/network.hpp"
 #include "runtime/steal_slot.hpp"
+#include "runtime/transport/tcp.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/worker_team.hpp"
 #include "runtime/workpool.hpp"
@@ -69,7 +70,7 @@ class EngineCtx {
     typename Ops::WorkerAcc acc;
   };
 
-  EngineCtx(rt::Network& net, int id, const Params& params,
+  EngineCtx(rt::Transport& net, int id, const Params& params,
             const std::vector<std::uint8_t>& spaceBytes)
       : params_(params),
         locality_(net, id),
@@ -163,6 +164,29 @@ class EngineCtx {
   struct PendingSteal {
     int origin = 0;
     std::int64_t token = 0;
+  };
+
+  // Per-locality results shipped to rank 0 when the run is multi-process
+  // (tag::kGatherReply): the wire replacement for the shared-memory gather
+  // loop of the simulated path. Carries every field gather() reads - the
+  // metrics snapshot (with this rank's transport counters folded in), the
+  // enumeration accumulator, and the locality's best incumbent.
+  struct GatherMsg {
+    rt::MetricsSnapshot metrics;
+    std::uint8_t truncated = 0;
+    typename Ops::EnumValue sum{};
+    std::uint8_t hasIncumbent = 0;
+    Node incumbent{};
+    std::int64_t objective = kObjMin;
+
+    void save(OArchive& a) const {
+      a << metrics << truncated << sum << hasIncumbent << incumbent
+        << objective;
+    }
+    void load(IArchive& a) {
+      a >> metrics >> truncated >> sum >> hasIncumbent >> incumbent >>
+          objective;
+    }
   };
 
   // Ask a random remote locality's workpool for a task (Depth-Bounded /
@@ -313,13 +337,25 @@ struct Engine {
   using Ctx = EngineCtx<Gen, SearchType, Bound, kPruneLevelOf<Opts...>>;
   using Ops = typename Ctx::Ops;
   using Task = typename Ctx::Task;
+  using GatherMsg = typename Ctx::GatherMsg;
   using Out = Outcome<Node, typename Ops::EnumValue>;
 
   static Out run(const Params& params, const Space& space, const Node& root) {
+    if (params.transport == TransportKind::Tcp) {
+      return runTcp(params, space, root);
+    }
+    return runSim(params, space, root);
+  }
+
+ private:
+  // Simulated path: all localities live in this process on the in-process
+  // transport backend; results are gathered by reading their registries.
+  static Out runSim(const Params& params, const Space& space,
+                    const Node& root) {
     Timer timer;
     auto spaceBytes = toBytes(space);
 
-    rt::Network net(params.nLocalities, params.effectiveNet());
+    rt::InProcTransport net(params.nLocalities, params.effectiveNet());
     std::vector<std::unique_ptr<Ctx>> locs;
     locs.reserve(static_cast<std::size_t>(params.nLocalities));
     for (int i = 0; i < params.nLocalities; ++i) {
@@ -356,7 +392,96 @@ struct Engine {
     return gather(params, locs, timer.elapsedSeconds(), net);
   }
 
- private:
+  // Multi-process path: this process runs exactly one locality
+  // (params.rank) of a TCP mesh. The same worker loop and termination
+  // protocol run as in the simulated path - they only ever spoke in
+  // messages - and the end-of-run gather becomes a message exchange: every
+  // non-zero rank ships a GatherMsg to rank 0, which merges them exactly
+  // like the shared-memory gather loop.
+  static Out runTcp(const Params& params, const Space& space,
+                    const Node& root) {
+    Timer timer;
+    Params p = params;
+    p.nLocalities = static_cast<int>(p.peers.size());
+    const int world = p.nLocalities;
+
+    rt::TcpConfig tc;
+    tc.rank = p.rank;
+    tc.peers = p.peers;
+    // Constructing the transport establishes the full mesh (handshake with
+    // every peer) before any search state exists: the start barrier.
+    rt::TcpTransport net(tc);
+
+    auto spaceBytes = toBytes(space);
+    Ctx ctx(net, p.rank, p, spaceBytes);
+
+    // Rank 0 collects one GatherMsg per peer once the search terminates.
+    // Registered before start() so a fast peer cannot race the handler.
+    std::mutex gatherMtx;
+    std::condition_variable gatherCv;
+    std::vector<GatherMsg> gathered;
+    if (p.rank == 0 && world > 1) {
+      ctx.locality().registerHandler(
+          rt::tag::kGatherReply, [&](rt::Message&& m) {
+            auto g = fromBytes<GatherMsg>(std::move(m.payload));
+            {
+              std::lock_guard lock(gatherMtx);
+              gathered.push_back(std::move(g));
+            }
+            gatherCv.notify_all();
+          });
+    }
+
+    ctx.locality().start();
+    if (p.rank == 0) {
+      // Root task: count it before the leader starts polling, so the
+      // detector never observes the initial 0 == 0 state.
+      ctx.reg().metrics.tasksSpawned.fetch_add(1);
+      ctx.term().taskCreated();
+      ctx.pool().push(Task{root, 0}, 0);
+      ctx.term().startLeader();
+    }
+
+    {
+      rt::WorkerTeam team(p.workersPerLocality,
+                          [&ctx](int w) { workerLoop(ctx, w); });
+      // Joins once the termination broadcast lands on this rank.
+    }
+    ctx.term().stop();
+
+    Out out;
+    if (p.rank == 0) {
+      if (world > 1) {
+        std::unique_lock lock(gatherMtx);
+        const bool all = gatherCv.wait_for(lock, kGatherTimeout, [&] {
+          return static_cast<int>(gathered.size()) == world - 1;
+        });
+        if (!all) {
+          throw rt::TransportError(
+              "gather: received " + std::to_string(gathered.size()) +
+              " of " + std::to_string(world - 1) +
+              " per-rank results (peer died?)");
+        }
+      }
+      out = mergeGather(p, ctx, gathered, timer.elapsedSeconds(), net);
+    } else {
+      // The manager (still running) keeps absorbing stray steal/termination
+      // traffic while this reply travels.
+      ctx.locality().send(0, rt::tag::kGatherReply,
+                          toBytes(makeGatherMsg(ctx, net)));
+      out.elapsedSeconds = timer.elapsedSeconds();
+      out.isRoot = false;
+    }
+
+    ctx.locality().stop();
+    // Graceful close: drains every queued frame (including the gather reply
+    // just sent) before the sockets go down.
+    net.shutdown();
+    return out;
+  }
+
+  static constexpr auto kGatherTimeout = std::chrono::seconds(120);
+
   static void workerLoop(Ctx& ctx, int w) {
     auto& ws = *ctx.workers()[static_cast<std::size_t>(w)];
     while (!ctx.term().finished()) {
@@ -376,19 +501,25 @@ struct Engine {
     Ops::mergeWorkerAcc(ctx.reg(), ws.acc);
   }
 
+  // Copy a transport's counters into the network fields of a snapshot.
+  static void fillNetMetrics(rt::MetricsSnapshot& m,
+                             const rt::Transport& net) {
+    m.networkMessages = net.messagesSent();
+    m.networkBytes = net.bytesSent();
+    m.networkFrames = net.framesSent();
+    m.networkBatched = net.batchedMessages();
+    m.networkImmediate = net.immediateMessages();
+    m.networkSpills = net.spilledMessages();
+    m.linkQueueHighWater = net.queueHighWater();
+    m.netLatencyHist = net.latencyHistogram();
+  }
+
   static Out gather(const Params& params,
                     std::vector<std::unique_ptr<Ctx>>& locs, double elapsed,
-                    const rt::Network& net) {
+                    const rt::Transport& net) {
     Out out;
     out.elapsedSeconds = elapsed;
-    out.metrics.networkMessages = net.messagesSent();
-    out.metrics.networkBytes = net.bytesSent();
-    out.metrics.networkFrames = net.framesSent();
-    out.metrics.networkBatched = net.batchedMessages();
-    out.metrics.networkImmediate = net.immediateMessages();
-    out.metrics.networkSpills = net.spilledMessages();
-    out.metrics.linkQueueHighWater = net.queueHighWater();
-    out.metrics.netLatencyHist = net.latencyHistogram();
+    fillNetMetrics(out.metrics, net);
     for (auto& l : locs) {
       auto& reg = l->reg();
       out.metrics += reg.metrics.snapshot();
@@ -402,6 +533,66 @@ struct Engine {
         }
       }
       if (reg.truncated.load()) out.complete = false;
+    }
+    if constexpr (SearchType::isDecision) {
+      out.decided = out.objective >= params.decisionTarget;
+    }
+    return out;
+  }
+
+  // Package this rank's local results for the wire (non-zero ranks of a
+  // multi-process run). The rank's own transport counters travel inside the
+  // metrics snapshot, so rank 0's merge sums wire traffic mesh-wide.
+  static GatherMsg makeGatherMsg(Ctx& ctx, const rt::Transport& net) {
+    auto& reg = ctx.reg();
+    GatherMsg g;
+    g.metrics = reg.metrics.snapshot();
+    fillNetMetrics(g.metrics, net);
+    g.truncated = reg.truncated.load() ? 1 : 0;
+    if constexpr (SearchType::isEnumeration) {
+      g.sum = reg.acc;
+    } else {
+      if (reg.incumbent.has_value()) {
+        g.hasIncumbent = 1;
+        g.incumbent = *reg.incumbent;
+        g.objective = reg.incumbentObj;
+      }
+    }
+    return g;
+  }
+
+  // Rank 0's merge of its own registry plus every peer's GatherMsg: the
+  // same selection the shared-memory gather() performs over `locs`.
+  static Out mergeGather(const Params& params, Ctx& ctx,
+                         std::vector<GatherMsg>& peers, double elapsed,
+                         const rt::Transport& net) {
+    Out out;
+    out.elapsedSeconds = elapsed;
+    fillNetMetrics(out.metrics, net);
+    auto& reg = ctx.reg();
+    out.metrics += reg.metrics.snapshot();
+    if constexpr (SearchType::isEnumeration) {
+      using M = typename SearchType::M;
+      out.sum = M::plus(std::move(out.sum), std::move(reg.acc));
+    } else {
+      if (reg.incumbentObj > out.objective) {
+        out.objective = reg.incumbentObj;
+        out.incumbent = std::move(reg.incumbent);
+      }
+    }
+    if (reg.truncated.load()) out.complete = false;
+    for (auto& g : peers) {
+      out.metrics += g.metrics;
+      if constexpr (SearchType::isEnumeration) {
+        using M = typename SearchType::M;
+        out.sum = M::plus(std::move(out.sum), std::move(g.sum));
+      } else {
+        if (g.hasIncumbent && g.objective > out.objective) {
+          out.objective = g.objective;
+          out.incumbent = std::move(g.incumbent);
+        }
+      }
+      if (g.truncated) out.complete = false;
     }
     if constexpr (SearchType::isDecision) {
       out.decided = out.objective >= params.decisionTarget;

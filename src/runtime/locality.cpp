@@ -1,6 +1,9 @@
 #include "runtime/locality.hpp"
 
 #include <chrono>
+#include <cstdio>
+
+#include "util/archive.hpp"
 
 namespace yewpar::rt {
 
@@ -26,7 +29,21 @@ void Locality::managerLoop() {
     if (msg->tag == tag::kShutdownManager) return;
     auto it = handlers_.find(msg->tag);
     if (it != handlers_.end()) {
-      it->second(std::move(*msg));
+      const int tagId = msg->tag;
+      const int from = msg->src;
+      try {
+        it->second(std::move(*msg));
+      } catch (const ArchiveError& e) {
+        // A malformed payload (truncated/overlong/trailing bytes) from a
+        // peer must surface as a dropped message, never terminate the
+        // rank: an exception escaping the manager thread would abort the
+        // process. Handshake guards make this unreachable for same-build
+        // meshes; it covers corrupted or replayed frames.
+        std::fprintf(stderr,
+                     "yewpar: locality %d: dropping malformed message "
+                     "(tag %d from %d): %s\n",
+                     id_, tagId, from, e.what());
+      }
     }
     // Unhandled tags are dropped; this matches dropping messages that arrive
     // after the subsystem that owned them has been torn down.

@@ -14,7 +14,7 @@
 #include <unordered_map>
 
 #include "runtime/message.hpp"
-#include "runtime/network.hpp"
+#include "runtime/transport/transport.hpp"
 
 namespace yewpar::rt {
 
@@ -22,7 +22,9 @@ class Locality {
  public:
   using Handler = std::function<void(Message&&)>;
 
-  Locality(Network& net, int id) : net_(net), id_(id) {}
+  // `net` is any Transport backend: the simulated in-process fabric or a
+  // real TCP mesh - the locality neither knows nor cares which.
+  Locality(Transport& net, int id) : net_(net), id_(id) {}
 
   ~Locality() { stop(); }
 
@@ -30,7 +32,7 @@ class Locality {
   Locality& operator=(const Locality&) = delete;
 
   int id() const { return id_; }
-  Network& network() { return net_; }
+  Transport& network() { return net_; }
 
   // Register a handler for a message tag. Must be called before start().
   // Handlers run on the manager thread; they must not block for long.
@@ -55,7 +57,7 @@ class Locality {
  private:
   void managerLoop();
 
-  Network& net_;
+  Transport& net_;
   int id_;
   std::unordered_map<int, Handler> handlers_;
   std::thread manager_;

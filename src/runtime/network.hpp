@@ -1,275 +1,14 @@
 #pragma once
 
-// In-process message-passing fabric connecting localities.
-//
-// This is the distributed-memory substitution described in DESIGN.md: the
-// paper runs YewPar over HPX on a Beowulf cluster; we run N localities inside
-// one process, but all inter-locality communication goes through this class
-// as serialized byte messages. The transport is layered per directed link
-// (src, dst), modelling the cost structure of a real interconnect rather
-// than a single lock per send:
-//
-//   layer 1 - send buffer with batch flush. Messages accumulate in a
-//     per-link buffer and move to the wire as one *frame* when the buffer
-//     reaches NetConfig::batchSize or the oldest buffered message has waited
-//     NetConfig::flushAfter (size- and deadline-triggered flush). batchSize
-//     1 is the unbatched baseline: every send is its own frame.
-//   layer 2 - bounded in-flight queue with back-pressure. At most
-//     NetConfig::queueCap messages per link are "on the wire" at once; a
-//     flush into a full link sheds the overflow to an unbounded spill list
-//     instead of blocking (the manager thread sends steal replies, so a
-//     blocking send could deadlock a request/reply cycle). Spilled messages
-//     are promoted in FIFO order as deliveries free queue slots, so
-//     congestion shows up as added latency, never as loss or deadlock.
-//   layer 3 - per-link delay distribution. Entering the in-flight queue
-//     samples a delivery delay from NetConfig::delay (seeded per link, so
-//     runs are reproducible) and the message becomes receivable only once
-//     the delay elapses. Delivery per (src, dst) pair stays FIFO, like a
-//     TCP-backed transport: each message's delivery time is clamped to be
-//     no earlier than its link predecessor's.
-//
-// Self-sends (src == dst, e.g. the manager shutdown nudge) are loopback:
-// they bypass batching, the cap, and the delay model.
-//
-// Receivers drive the clock: tryRecv/recvWait flush overdue batches and
-// promote spilled messages on the links into their locality, so a batch can
-// never strand once the destination polls (the manager loop polls every
-// 500us). All counters are per-link atomics summed on demand - per-
-// destination tallies updated outside the link lock raced with the batch
-// flush path, see test_network.cpp.
+// Compatibility shim: the simulated fabric moved behind the Transport
+// interface as rt::InProcTransport (runtime/transport/inproc.hpp) when the
+// real multi-process TCP backend landed. Existing code and tests keep using
+// the rt::Network name for the in-process backend.
 
-#include <array>
-#include <atomic>
-#include <condition_variable>
-#include <chrono>
-#include <cstdint>
-#include <deque>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "runtime/message.hpp"
-#include "runtime/metrics.hpp"
-#include "util/rng.hpp"
+#include "runtime/transport/inproc.hpp"
 
 namespace yewpar::rt {
 
-// Per-link one-way delay distribution (`--net-delay`), sampled per message
-// in microseconds. Parsed from:
-//   none           no simulated latency (a == b == 0)
-//   fixed:us       constant delay of `us` microseconds
-//   uniform:a,b    uniform in [a, b] microseconds
-//   lognormal:m,s  exp(Normal(m, s)) microseconds: a long right tail, the
-//                  classic model for congested-datacentre RTTs
-struct DelayModel {
-  enum class Kind : std::uint8_t { None, Fixed, Uniform, Lognormal };
-
-  // Every sample is capped here (~8.4 s, the latency histogram's ceiling):
-  // a heavy lognormal tail draw must stay finite and castable, not stall
-  // the simulation for hours.
-  static constexpr double kMaxDelayMicros = 8'388'608.0;  // 2^23 us
-
-  Kind kind = Kind::None;
-  double a = 0.0;  // Fixed: delay; Uniform: lower bound; Lognormal: log-mean
-  double b = 0.0;  // Uniform: upper bound; Lognormal: log-sigma
-
-  // Sample one delay in microseconds in [0, kMaxDelayMicros]. Deterministic
-  // given the Rng state, so seeded runs reproduce their delivery schedule.
-  double sampleMicros(Rng& rng) const;
-
-  // Parse the `--net-delay` spec above; throws std::invalid_argument.
-  static DelayModel parse(const std::string& spec);
-
-  // Printable round-trip of parse() for tables and logs.
-  std::string name() const;
-};
-
-// Transport configuration, one per Network (engine: Params::net).
-struct NetConfig {
-  // Layer 1: messages per frame before a size-triggered flush; 1 = flush
-  // every send (the unbatched baseline).
-  std::size_t batchSize = 1;
-  // Layer 1: deadline flush - the oldest buffered message waits at most
-  // this long before the buffer is flushed by the next sender or receiver
-  // touching the link.
-  std::chrono::microseconds flushAfter{100};
-  // Layer 2: max in-flight messages per link; 0 = unbounded (no
-  // back-pressure, the pre-layered behaviour).
-  std::size_t queueCap = 0;
-  // Layer 3: per-message delivery delay distribution.
-  DelayModel delay;
-  // Seed for the per-link delay streams (mixed with the link id).
-  std::uint64_t seed = 0x5EEDF00DULL;
-};
-
-class Network {
- public:
-  explicit Network(int nLocalities, NetConfig cfg = NetConfig{});
-
-  // Legacy convenience: a fixed one-way latency on every link and no
-  // batching/back-pressure (Params::networkDelayMicros).
-  Network(int nLocalities, double delayMicros);
-
-  int size() const { return n_; }
-  const NetConfig& config() const { return cfg_; }
-
-  // Buffers the message on its (src, dst) link, flushing a frame to the
-  // in-flight queue when the batch fills. Thread-safe; never blocks on a
-  // full link (overflow is shed to the link's spill list).
-  void send(Message m);
-
-  // Convenience: send `payload` under `tag` from src to every locality
-  // except src itself.
-  void broadcast(int src, int tagId, const std::vector<std::uint8_t>& payload);
-
-  // Force out every buffered frame (tests and end-of-run accounting; the
-  // normal path relies on size/deadline flushes).
-  void flushAll();
-
-  // Non-blocking receive; returns nothing if no deliverable message.
-  // Flushes overdue batches and promotes spilled messages on the way.
-  std::optional<Message> tryRecv(int loc);
-
-  // Blocking receive with timeout; returns nothing on timeout. Wakes for
-  // frame arrivals and pending batch deadlines.
-  std::optional<Message> recvWait(int loc, std::chrono::microseconds timeout);
-
-  // ---- accounting (all totals are sums over per-link atomics) ----------
-
-  // Logical messages / payload bytes handed to send() so far. Chunked steal
-  // replies shrink messagesSent for the same work moved; the chunking
-  // ablation reports both.
-  std::uint64_t messagesSent() const;
-  std::uint64_t bytesSent() const;
-
-  // Wire frames: one per batch flush. Batching amortises per-message
-  // overhead, so framesSent <= messagesSent, with equality at batchSize 1.
-  std::uint64_t framesSent() const;
-
-  // Messages that travelled in a frame of >= 2 (batched) vs a frame of 1
-  // (immediate). batched + immediate == messages once all frames flushed.
-  std::uint64_t batchedMessages() const;
-  std::uint64_t immediateMessages() const;
-
-  // Messages shed to a spill list because their link was at queueCap.
-  std::uint64_t spilledMessages() const;
-
-  // Highest in-flight queue depth observed on any single link.
-  std::size_t queueHighWater() const;
-
-  // Simulated-latency histogram summed over links: bucket i counts
-  // messages whose modelled latency (sampled delay plus FIFO/congestion
-  // wait) fell in [2^(i-1), 2^i) microseconds, bucket 0 being < 1us (see
-  // rt::netLatencyBucketFor in metrics.hpp).
-  std::array<std::uint64_t, kNetLatencyBuckets> latencyHistogram() const;
-
-  // Per-link view for tests and the network ablation.
-  struct LinkStats {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    std::uint64_t frames = 0;
-    std::uint64_t batched = 0;
-    std::uint64_t immediate = 0;
-    std::uint64_t spilled = 0;
-    std::size_t queueHighWater = 0;
-  };
-  LinkStats linkStats(int src, int dst) const;
-
- private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Pending {
-    Clock::time_point deliverAt;
-    Message msg;
-  };
-
-  struct Spilled {
-    Clock::time_point spilledAt;
-    Message msg;
-  };
-
-  // One directed (src, dst) link: batch buffer -> bounded queue (+ spill).
-  struct Link {
-    mutable std::mutex mtx;
-    // Layer 1: unflushed batch; flushDue is set when the first message of
-    // the current batch is buffered.
-    std::vector<Message> buffer;
-    Clock::time_point flushDue{};
-    // Layer 2: in-flight messages, bounded by cfg.queueCap; overflow waits
-    // in `spill` (FIFO) for a free slot, remembering when it was shed so
-    // the latency histogram can charge the congestion wait.
-    std::deque<Pending> queue;
-    std::deque<Spilled> spill;
-    // Layer 3: monotone delivery floor keeping the link FIFO under random
-    // per-message delays.
-    Clock::time_point fifoFloor{};
-    Rng delayRng;
-    // Stats. Counters are atomics because totals are summed without taking
-    // the link lock; highWater/latency are only touched under mtx.
-    std::atomic<std::uint64_t> messages{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<std::uint64_t> frames{0};
-    std::atomic<std::uint64_t> batched{0};
-    std::atomic<std::uint64_t> immediate{0};
-    std::atomic<std::uint64_t> spilled{0};
-    std::size_t queueHighWater = 0;
-    std::array<std::uint64_t, kNetLatencyBuckets> latency{};
-  };
-
-  // Receivers block here; senders bump `version` under mtx on every send
-  // so a flush between a poll and the wait cannot be missed.
-  struct Inbox {
-    std::mutex mtx;
-    std::condition_variable cv;
-    std::uint64_t version = 0;
-    // Round-robin scan start so one chatty link cannot starve the others.
-    int nextSrc = 0;
-  };
-
-  Link& link(int src, int dst) {
-    return *links_[static_cast<std::size_t>(src) *
-                       static_cast<std::size_t>(n_) +
-                   static_cast<std::size_t>(dst)];
-  }
-  const Link& link(int src, int dst) const {
-    return *links_[static_cast<std::size_t>(src) *
-                       static_cast<std::size_t>(n_) +
-                   static_cast<std::size_t>(dst)];
-  }
-
-  // Move the whole batch to the in-flight queue as one frame. Caller holds
-  // l.mtx.
-  void flushLocked(Link& l, Clock::time_point now);
-
-  // Stamp a delivery time and append to the in-flight queue. Caller holds
-  // l.mtx and has checked the cap. `sentAt` is when the message entered
-  // layer 2 (the flush, or the shed for spilled messages), so the latency
-  // histogram records modelled delay plus any congestion wait.
-  void enqueueLocked(Link& l, Message m, Clock::time_point now,
-                     Clock::time_point sentAt);
-
-  // Promote spilled messages into freed queue slots. Caller holds l.mtx.
-  void drainSpillLocked(Link& l, Clock::time_point now);
-
-  // Flush-if-due + promote on every link into `loc`, then pop the first
-  // deliverable message in round-robin link order.
-  std::optional<Message> pollNow(int loc, Clock::time_point now);
-
-  // Earliest future event (batch deadline or in-flight delivery) on the
-  // links into `loc`; Clock::time_point::max() when idle.
-  Clock::time_point nextEventTime(int loc);
-
-  // Sum one per-link atomic counter across the fabric.
-  std::uint64_t sumLinks(std::atomic<std::uint64_t> Link::*counter) const;
-
-  void notifyInbox(int dst);
-
-  int n_;
-  NetConfig cfg_;
-  std::vector<std::unique_ptr<Link>> links_;    // n_ * n_, row-major by src
-  std::vector<std::unique_ptr<Inbox>> inboxes_;
-};
+using Network = InProcTransport;
 
 }  // namespace yewpar::rt

@@ -6,23 +6,12 @@
 
 namespace yewpar::rt {
 
-namespace {
-struct Snapshot {
-  std::uint64_t round = 0;
-  std::uint64_t created = 0;
-  std::uint64_t completed = 0;
-
-  void save(OArchive& a) const { a << round << created << completed; }
-  void load(IArchive& a) { a >> round >> created >> completed; }
-};
-}  // namespace
-
 TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
     : loc_(loc), nLoc_(nLocalities) {
   // All localities: answer snapshot requests with current local counters.
   loc_.registerHandler(tag::kSnapshotRequest, [this](Message&& m) {
-    Snapshot req = fromBytes<Snapshot>(std::move(m.payload));
-    Snapshot reply;
+    TermSnapshot req = fromBytes<TermSnapshot>(std::move(m.payload));
+    TermSnapshot reply;
     reply.round = req.round;
     // Read completed before created: if a task completes between the two
     // loads we may under-report completed, which is safe (delays
@@ -39,7 +28,7 @@ TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
 
   if (loc_.id() == 0) {
     loc_.registerHandler(tag::kSnapshotReply, [this](Message&& m) {
-      Snapshot s = fromBytes<Snapshot>(std::move(m.payload));
+      TermSnapshot s = fromBytes<TermSnapshot>(std::move(m.payload));
       std::lock_guard lock(poll_.mtx);
       if (static_cast<int>(s.round) != poll_.round) return;  // stale round
       poll_.replies += 1;
@@ -83,7 +72,7 @@ void TerminationDetector::leaderLoop() {
       poll_.sumCompleted = completed_.load(std::memory_order_acquire);
       poll_.sumCreated = created_.load(std::memory_order_acquire);
     }
-    Snapshot req;
+    TermSnapshot req;
     req.round = static_cast<std::uint64_t>(round);
     for (int dst = 1; dst < nLoc_; ++dst) {
       loc_.send(dst, tag::kSnapshotRequest, toBytes(req));

@@ -13,12 +13,27 @@
 // counters over a FIFO transport.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 
 #include "runtime/locality.hpp"
+#include "util/archive.hpp"
 
 namespace yewpar::rt {
+
+// Wire payload of the termination protocol's kSnapshotRequest/kSnapshotReply
+// messages: the poll round (stale replies are discarded by round number) and
+// the replier's monotone counters.
+struct TermSnapshot {
+  std::uint64_t round = 0;
+  std::uint64_t created = 0;
+  std::uint64_t completed = 0;
+
+  void save(OArchive& a) const { a << round << created << completed; }
+  void load(IArchive& a) { a >> round >> created >> completed; }
+};
 
 class TerminationDetector {
  public:

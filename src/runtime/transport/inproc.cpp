@@ -1,4 +1,4 @@
-#include "runtime/network.hpp"
+#include "runtime/transport/inproc.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -120,9 +120,9 @@ std::string DelayModel::name() const {
   return "?";
 }
 
-// ---- Network -------------------------------------------------------------
+// ---- InProcTransport -------------------------------------------------------------
 
-Network::Network(int nLocalities, NetConfig cfg)
+InProcTransport::InProcTransport(int nLocalities, NetConfig cfg)
     : n_(nLocalities), cfg_(cfg) {
   assert(nLocalities >= 1);
   if (cfg_.batchSize == 0) cfg_.batchSize = 1;
@@ -138,8 +138,8 @@ Network::Network(int nLocalities, NetConfig cfg)
   }
 }
 
-Network::Network(int nLocalities, double delayMicros)
-    : Network(nLocalities, [&] {
+InProcTransport::InProcTransport(int nLocalities, double delayMicros)
+    : InProcTransport(nLocalities, [&] {
         NetConfig c;
         if (delayMicros > 0) {
           c.delay = DelayModel{DelayModel::Kind::Fixed, delayMicros, 0.0};
@@ -147,7 +147,7 @@ Network::Network(int nLocalities, double delayMicros)
         return c;
       }()) {}
 
-void Network::enqueueLocked(Link& l, Message m, Clock::time_point now,
+void InProcTransport::enqueueLocked(Link& l, Message m, Clock::time_point now,
                             Clock::time_point sentAt) {
   const auto delay = std::chrono::microseconds(
       static_cast<std::int64_t>(cfg_.delay.sampleMicros(l.delayRng)));
@@ -166,7 +166,7 @@ void Network::enqueueLocked(Link& l, Message m, Clock::time_point now,
   if (l.queue.size() > l.queueHighWater) l.queueHighWater = l.queue.size();
 }
 
-void Network::flushLocked(Link& l, Clock::time_point now) {
+void InProcTransport::flushLocked(Link& l, Clock::time_point now) {
   if (l.buffer.empty()) return;
   l.frames.fetch_add(1, std::memory_order_relaxed);
   if (l.buffer.size() >= 2) {
@@ -187,7 +187,7 @@ void Network::flushLocked(Link& l, Clock::time_point now) {
   l.buffer.clear();
 }
 
-void Network::drainSpillLocked(Link& l, Clock::time_point now) {
+void InProcTransport::drainSpillLocked(Link& l, Clock::time_point now) {
   while (!l.spill.empty() &&
          (cfg_.queueCap == 0 || l.queue.size() < cfg_.queueCap)) {
     Spilled s = std::move(l.spill.front());
@@ -196,7 +196,7 @@ void Network::drainSpillLocked(Link& l, Clock::time_point now) {
   }
 }
 
-void Network::send(Message m) {
+void InProcTransport::send(Message m) {
   assert(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_);
   const int dst = m.dst;
   const auto now = Clock::now();
@@ -223,7 +223,7 @@ void Network::send(Message m) {
   notifyInbox(dst);
 }
 
-void Network::broadcast(int src, int tagId,
+void InProcTransport::broadcast(int src, int tagId,
                         const std::vector<std::uint8_t>& payload) {
   for (int dst = 0; dst < n_; ++dst) {
     if (dst == src) continue;
@@ -231,7 +231,7 @@ void Network::broadcast(int src, int tagId,
   }
 }
 
-void Network::flushAll() {
+void InProcTransport::flushAll() {
   const auto now = Clock::now();
   for (auto& lp : links_) {
     std::lock_guard lock(lp->mtx);
@@ -240,7 +240,7 @@ void Network::flushAll() {
   for (int dst = 0; dst < n_; ++dst) notifyInbox(dst);
 }
 
-std::optional<Message> Network::pollNow(int loc, Clock::time_point now) {
+std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
   int start;
   {
@@ -264,11 +264,11 @@ std::optional<Message> Network::pollNow(int loc, Clock::time_point now) {
   return std::nullopt;
 }
 
-std::optional<Message> Network::tryRecv(int loc) {
+std::optional<Message> InProcTransport::tryRecv(int loc) {
   return pollNow(loc, Clock::now());
 }
 
-Network::Clock::time_point Network::nextEventTime(int loc) {
+InProcTransport::Clock::time_point InProcTransport::nextEventTime(int loc) {
   auto next = Clock::time_point::max();
   for (int src = 0; src < n_; ++src) {
     Link& l = link(src, loc);
@@ -281,7 +281,7 @@ Network::Clock::time_point Network::nextEventTime(int loc) {
   return next;
 }
 
-std::optional<Message> Network::recvWait(int loc,
+std::optional<Message> InProcTransport::recvWait(int loc,
                                          std::chrono::microseconds timeout) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
   const auto deadline = Clock::now() + timeout;
@@ -302,7 +302,7 @@ std::optional<Message> Network::recvWait(int loc,
   }
 }
 
-void Network::notifyInbox(int dst) {
+void InProcTransport::notifyInbox(int dst) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard g(box.mtx);
@@ -313,7 +313,7 @@ void Network::notifyInbox(int dst) {
 
 // ---- accounting ----------------------------------------------------------
 
-std::uint64_t Network::sumLinks(
+std::uint64_t InProcTransport::sumLinks(
     std::atomic<std::uint64_t> Link::*counter) const {
   std::uint64_t total = 0;
   for (const auto& l : links_) {
@@ -322,27 +322,27 @@ std::uint64_t Network::sumLinks(
   return total;
 }
 
-std::uint64_t Network::messagesSent() const {
+std::uint64_t InProcTransport::messagesSent() const {
   return sumLinks(&Link::messages);
 }
 
-std::uint64_t Network::bytesSent() const { return sumLinks(&Link::bytes); }
+std::uint64_t InProcTransport::bytesSent() const { return sumLinks(&Link::bytes); }
 
-std::uint64_t Network::framesSent() const { return sumLinks(&Link::frames); }
+std::uint64_t InProcTransport::framesSent() const { return sumLinks(&Link::frames); }
 
-std::uint64_t Network::batchedMessages() const {
+std::uint64_t InProcTransport::batchedMessages() const {
   return sumLinks(&Link::batched);
 }
 
-std::uint64_t Network::immediateMessages() const {
+std::uint64_t InProcTransport::immediateMessages() const {
   return sumLinks(&Link::immediate);
 }
 
-std::uint64_t Network::spilledMessages() const {
+std::uint64_t InProcTransport::spilledMessages() const {
   return sumLinks(&Link::spilled);
 }
 
-std::size_t Network::queueHighWater() const {
+std::size_t InProcTransport::queueHighWater() const {
   std::size_t hw = 0;
   for (const auto& l : links_) {
     std::lock_guard lock(l->mtx);
@@ -351,7 +351,7 @@ std::size_t Network::queueHighWater() const {
   return hw;
 }
 
-std::array<std::uint64_t, kNetLatencyBuckets> Network::latencyHistogram()
+std::array<std::uint64_t, kNetLatencyBuckets> InProcTransport::latencyHistogram()
     const {
   std::array<std::uint64_t, kNetLatencyBuckets> out{};
   for (const auto& l : links_) {
@@ -364,7 +364,7 @@ std::array<std::uint64_t, kNetLatencyBuckets> Network::latencyHistogram()
   return out;
 }
 
-Network::LinkStats Network::linkStats(int src, int dst) const {
+InProcTransport::LinkStats InProcTransport::linkStats(int src, int dst) const {
   const Link& l = link(src, dst);
   LinkStats s;
   s.messages = l.messages.load(std::memory_order_relaxed);

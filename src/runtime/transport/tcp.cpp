@@ -1,0 +1,599 @@
+#include "runtime/transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace yewpar::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string errnoText() { return std::strerror(errno); }
+
+void setNoDelay(int fd) {
+  // Steal request/reply round-trips are latency-bound single small frames;
+  // Nagle would serialize them against the ACK clock.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Write exactly n bytes. MSG_NOSIGNAL so a vanished peer surfaces as EPIPE
+// on this thread instead of a process-wide SIGPIPE.
+bool writeFull(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const auto w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+enum class ReadResult { Ok, Eof, Error, GaveUp };
+
+// Read exactly n bytes, polling in 100ms slices so `giveUp` (shutdown
+// drain deadline, handshake timeout) is observed even on a silent socket.
+// Eof is reported only for a clean close before the first byte; a close
+// mid-read is an Error (a frame or handshake was cut short).
+template <typename GiveUp>
+ReadResult readFull(int fd, std::uint8_t* p, std::size_t n,
+                    const GiveUp& giveUp) {
+  std::size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::Error;
+    }
+    if (pr == 0) {
+      if (giveUp()) return ReadResult::GaveUp;
+      continue;
+    }
+    const auto r = ::recv(fd, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::Error;
+    }
+    if (r == 0) return got == 0 ? ReadResult::Eof : ReadResult::Error;
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadResult::Ok;
+}
+
+}  // namespace
+
+std::pair<std::string, std::uint16_t> parseEndpoint(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    throw TransportError("malformed peer endpoint '" + spec +
+                         "' (expected host:port)");
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string portStr = spec.substr(colon + 1);
+  unsigned port = 0;
+  const auto [end, ec] = std::from_chars(
+      portStr.data(), portStr.data() + portStr.size(), port);
+  if (ec != std::errc{} || end != portStr.data() + portStr.size() ||
+      port < 1 || port > 65535) {
+    throw TransportError("bad port in peer endpoint '" + spec + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+void sendHandshake(int fd, int rank, int world) {
+  wire::Handshake h;
+  h.rank = static_cast<std::uint32_t>(rank);
+  h.world = static_cast<std::uint32_t>(world);
+  const auto bytes = h.encode();
+  if (!writeFull(fd, bytes.data(), bytes.size())) {
+    throw TransportError("handshake write failed: " + errnoText());
+  }
+}
+
+namespace {
+
+// Bad handshake magic: whatever connected is not a yewpar rank at all.
+// Distinct from the other mismatches because an ACCEPTING rank must shrug
+// a foreign connection off (close it, keep listening) - a port scanner or
+// misdirected client dialing the listen port must not abort an N-process
+// run - while a dialler hitting it, or a genuine peer with the wrong
+// version/world, is fatal.
+class ForeignConnection : public TransportError {
+ public:
+  ForeignConnection()
+      : TransportError(
+            "peer is not a yewpar transport endpoint (bad handshake "
+            "magic)") {}
+};
+
+// Shared fail-fast checks for both handshake entry points; throws
+// TransportError naming the mismatch.
+void validateHandshake(const wire::Handshake& h, int expectWorld) {
+  if (h.magic != wire::kMagic) {
+    throw ForeignConnection();
+  }
+  if (h.version != wire::protocolVersion()) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "wire protocol version mismatch: local %08x, peer %08x "
+                  "(mixed binaries?)",
+                  wire::protocolVersion(), h.version);
+    throw TransportError(msg);
+  }
+  if (static_cast<int>(h.world) != expectWorld) {
+    throw TransportError(
+        "peer expects a mesh of " + std::to_string(h.world) +
+        " localities, this process expects " + std::to_string(expectWorld) +
+        " (differing --peers lists?)");
+  }
+}
+
+}  // namespace
+
+wire::Handshake readHandshake(int fd, int expectWorld,
+                              std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  std::uint8_t buf[wire::Handshake::kBytes];
+  const auto r = readFull(fd, buf, sizeof(buf),
+                          [&] { return Clock::now() >= deadline; });
+  if (r != ReadResult::Ok) {
+    throw TransportError(
+        "peer closed or timed out during transport handshake");
+  }
+  const auto h = wire::Handshake::decode(buf);
+  validateHandshake(h, expectWorld);
+  return h;
+}
+
+namespace {
+
+// Full bidirectional handshake on a fresh connection: send ours, read
+// theirs (both sides send first - 16 bytes always fit the socket buffer,
+// so the symmetric order cannot deadlock). Returns nullopt when the
+// connection died or went silent mid-exchange - retryable, e.g. a connect
+// that landed in the backlog of a dying listener from a previous search's
+// mesh on the same port. Throws TransportError on magic/version/world
+// mismatch: those are permanent and must fail fast, not be retried into a
+// timeout.
+std::optional<wire::Handshake> tryExchangeHandshake(
+    int fd, int rank, int world, std::chrono::milliseconds timeout) {
+  wire::Handshake mine;
+  mine.rank = static_cast<std::uint32_t>(rank);
+  mine.world = static_cast<std::uint32_t>(world);
+  const auto bytes = mine.encode();
+  if (!writeFull(fd, bytes.data(), bytes.size())) return std::nullopt;
+
+  const auto deadline = Clock::now() + timeout;
+  std::uint8_t buf[wire::Handshake::kBytes];
+  if (readFull(fd, buf, sizeof(buf),
+               [&] { return Clock::now() >= deadline; }) != ReadResult::Ok) {
+    return std::nullopt;
+  }
+  const auto h = wire::Handshake::decode(buf);
+  validateHandshake(h, world);
+  return h;
+}
+
+// Cap one handshake attempt so a doomed connection is abandoned and
+// redialled long before the whole mesh deadline.
+constexpr auto kHandshakeAttempt = std::chrono::milliseconds(2000);
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
+  world_ = static_cast<int>(cfg_.peers.size());
+  if (world_ < 1) {
+    throw TransportError("--peers must list at least one host:port");
+  }
+  if (cfg_.rank < 0 || cfg_.rank >= world_) {
+    throw TransportError("--rank " + std::to_string(cfg_.rank) +
+                         " out of range for " + std::to_string(world_) +
+                         " peers");
+  }
+  peers_.reserve(static_cast<std::size_t>(world_));
+  for (int i = 0; i < world_; ++i) {
+    peers_.push_back(std::make_unique<Peer>());
+  }
+  if (world_ == 1) return;  // single rank: loopback only
+
+  const auto [myHost, myPort] = parseEndpoint(
+      cfg_.peers[static_cast<std::size_t>(cfg_.rank)]);
+  (void)myHost;  // all interfaces are bound; the host part is for peers
+
+  try {
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) throw TransportError("socket: " + errnoText());
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(myPort);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      throw TransportError("rank " + std::to_string(cfg_.rank) +
+                           ": cannot bind port " + std::to_string(myPort) +
+                           ": " + errnoText());
+    }
+    if (::listen(listenFd_, world_) != 0) {
+      throw TransportError("listen: " + errnoText());
+    }
+
+    const auto deadline = Clock::now() + cfg_.connectTimeout;
+    const auto remainingMs = [&] {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      return left.count() > 0 ? left : std::chrono::milliseconds(1);
+    };
+
+    // Dial every lower rank (they are the accepting side for us), retrying
+    // while their listener comes up.
+    for (int j = 0; j < cfg_.rank; ++j) {
+      const auto [host, port] =
+          parseEndpoint(cfg_.peers[static_cast<std::size_t>(j)]);
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* res = nullptr;
+      if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                        &res) != 0 ||
+          res == nullptr) {
+        throw TransportError("cannot resolve peer host '" + host + "'");
+      }
+      for (;;) {
+        if (Clock::now() >= deadline) {
+          ::freeaddrinfo(res);
+          throw TransportError(
+              "rank " + std::to_string(cfg_.rank) +
+              ": cannot establish rank " + std::to_string(j) + " at " +
+              cfg_.peers[static_cast<std::size_t>(j)] + " within timeout");
+        }
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+          ::freeaddrinfo(res);
+          throw TransportError("socket: " + errnoText());
+        }
+        if (::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+          ::close(fd);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;  // listener not up yet
+        }
+        setNoDelay(fd);
+        std::optional<wire::Handshake> h;
+        try {
+          h = tryExchangeHandshake(fd, cfg_.rank, world_,
+                                   std::min(kHandshakeAttempt,
+                                            remainingMs()));
+        } catch (...) {
+          ::close(fd);
+          ::freeaddrinfo(res);
+          throw;  // magic/version/world mismatch: permanent, fail fast
+        }
+        if (!h) {
+          // The connection died mid-handshake (e.g. it landed in a stale
+          // listener's backlog); redial.
+          ::close(fd);
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+        if (static_cast<int>(h->rank) != j) {
+          ::close(fd);
+          ::freeaddrinfo(res);
+          throw TransportError(
+              "peer at " + cfg_.peers[static_cast<std::size_t>(j)] +
+              " identifies as rank " + std::to_string(h->rank) +
+              ", expected " + std::to_string(j));
+        }
+        peers_[static_cast<std::size_t>(j)]->fd = fd;
+        break;
+      }
+      ::freeaddrinfo(res);
+    }
+
+    // Accept every higher rank; the handshake tells us who arrived.
+    int accepted = 0;
+    while (accepted < world_ - cfg_.rank - 1) {
+      pollfd pfd{listenFd_, POLLIN, 0};
+      for (;;) {
+        const int pr = ::poll(&pfd, 1, 100);
+        if (pr > 0) break;
+        if (pr < 0 && errno != EINTR) {
+          throw TransportError("poll on listen socket: " + errnoText());
+        }
+        if (Clock::now() >= deadline) {
+          throw TransportError(
+              "rank " + std::to_string(cfg_.rank) + ": timed out waiting "
+              "for " + std::to_string(world_ - cfg_.rank - 1 - accepted) +
+              " peer connection(s)");
+        }
+      }
+      const int fd = ::accept(listenFd_, nullptr, nullptr);
+      if (fd < 0) throw TransportError("accept: " + errnoText());
+      setNoDelay(fd);
+      std::optional<wire::Handshake> h;
+      try {
+        h = tryExchangeHandshake(fd, cfg_.rank, world_,
+                                 std::min(kHandshakeAttempt, remainingMs()));
+      } catch (const ForeignConnection&) {
+        ::close(fd);  // not a rank; keep listening for the real peers
+        continue;
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
+      if (!h) {
+        ::close(fd);  // dialler gave up mid-handshake; it will redial
+        continue;
+      }
+      const int peer = static_cast<int>(h->rank);
+      if (peer <= cfg_.rank || peer >= world_) {
+        ::close(fd);
+        throw TransportError("unexpected connection from rank " +
+                             std::to_string(h->rank));
+      }
+      Peer& slot = *peers_[static_cast<std::size_t>(peer)];
+      if (slot.fd >= 0) {
+        // The dialler abandoned its previous attempt (our reply lost the
+        // race against its per-attempt timeout) and redialled: the newest
+        // connection is the live one.
+        ::close(slot.fd);
+      } else {
+        ++accepted;
+      }
+      slot.fd = fd;
+    }
+  } catch (...) {
+    for (auto& p : peers_) {
+      if (p->fd >= 0) ::close(p->fd);
+    }
+    if (listenFd_ >= 0) ::close(listenFd_);
+    throw;
+  }
+
+  for (int j = 0; j < world_; ++j) {
+    if (j == cfg_.rank) continue;
+    peers_[static_cast<std::size_t>(j)]->sender =
+        std::thread([this, j] { senderLoop(j); });
+    peers_[static_cast<std::size_t>(j)]->receiver =
+        std::thread([this, j] { receiverLoop(j); });
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::killLink(Peer& p) {
+  {
+    std::lock_guard lock(p.mtx);
+    p.dead = true;
+  }
+  ::shutdown(p.fd, SHUT_RDWR);
+  p.cv.notify_all();
+}
+
+void TcpTransport::pushInbox(Message m) {
+  {
+    std::lock_guard lock(inboxMtx_);
+    inbox_.push_back(std::move(m));
+  }
+  inboxCv_.notify_all();
+}
+
+void TcpTransport::send(Message m) {
+  assert(m.src == cfg_.rank);
+  if (m.dst < 0 || m.dst >= world_) {
+    throw TransportError("send to out-of-range rank " +
+                         std::to_string(m.dst));
+  }
+  if (m.payload.size() > wire::kMaxFramePayload) {
+    throw TransportError("payload of " + std::to_string(m.payload.size()) +
+                         " bytes exceeds the frame limit");
+  }
+  const std::uint64_t payloadBytes = m.payload.size();
+  if (m.dst == cfg_.rank) {
+    // Loopback (e.g. the manager shutdown nudge), as on the simulated
+    // backend: straight to the inbox, no framing.
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    pushInbox(std::move(m));
+    return;
+  }
+  Peer& p = *peers_[static_cast<std::size_t>(m.dst)];
+  {
+    std::lock_guard lock(p.mtx);
+    if (p.closing || p.dead) return;  // late message: dropped, like sim
+    p.sendq.push_back(std::move(m));
+    if (p.sendq.size() > p.highWater) p.highWater = p.sendq.size();
+  }
+  // Counted only once actually queued for the wire: a message dropped on a
+  // closing/dead link never shows up in the emitted-frame metrics.
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  p.cv.notify_one();
+}
+
+std::optional<Message> TcpTransport::tryRecv(int loc) {
+  if (loc != cfg_.rank) {
+    throw TransportError("TcpTransport hosts rank " +
+                         std::to_string(cfg_.rank) + ", not " +
+                         std::to_string(loc));
+  }
+  std::lock_guard lock(inboxMtx_);
+  if (inbox_.empty()) return std::nullopt;
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  return m;
+}
+
+std::optional<Message> TcpTransport::recvWait(
+    int loc, std::chrono::microseconds timeout) {
+  if (loc != cfg_.rank) {
+    throw TransportError("TcpTransport hosts rank " +
+                         std::to_string(cfg_.rank) + ", not " +
+                         std::to_string(loc));
+  }
+  std::unique_lock lock(inboxMtx_);
+  inboxCv_.wait_for(lock, timeout, [&] { return !inbox_.empty(); });
+  if (inbox_.empty()) return std::nullopt;
+  Message m = std::move(inbox_.front());
+  inbox_.pop_front();
+  return m;
+}
+
+void TcpTransport::senderLoop(int peerRank) {
+  Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
+  for (;;) {
+    std::deque<Message> batch;
+    {
+      std::unique_lock lock(p.mtx);
+      p.cv.wait(lock, [&] { return !p.sendq.empty() || p.closing; });
+      if (p.sendq.empty() && p.closing) break;
+      batch.swap(p.sendq);
+    }
+    for (auto& m : batch) {
+      wire::FrameHeader h;
+      h.payloadLen = static_cast<std::uint32_t>(m.payload.size());
+      h.tag = static_cast<std::uint32_t>(m.tag);
+      const auto hb = h.encode();
+      if (!writeFull(p.fd, hb.data(), hb.size()) ||
+          !writeFull(p.fd, m.payload.data(), m.payload.size())) {
+        std::lock_guard lock(p.mtx);
+        if (!p.dead && !p.closing) {
+          std::fprintf(stderr,
+                       "yewpar-tcp: rank %d: write to rank %d failed (%s); "
+                       "dropping outbound traffic to it\n",
+                       cfg_.rank, peerRank, errnoText().c_str());
+        }
+        p.dead = true;
+        break;
+      }
+    }
+  }
+  // Every queued frame is on the wire: half-close so the peer's receiver
+  // sees EOF at a frame boundary.
+  ::shutdown(p.fd, SHUT_WR);
+}
+
+void TcpTransport::receiverLoop(int peerRank) {
+  Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
+  const int fd = p.fd;
+  // During shutdown, frames already in flight must still land (closing with
+  // unread data RSTs the connection, which can destroy data going the OTHER
+  // way that the peer has not read yet). "Drained" is either the peer's
+  // half-close (EOF) or, for a peer that stays up past our shutdown, a
+  // window of silence at a frame boundary; drainDeadline_ is the dead-peer
+  // backstop.
+  constexpr auto kDrainQuiet = std::chrono::milliseconds(250);
+  auto lastFrameAt = Clock::now();
+  const auto midFrameGiveUp = [&] {
+    return draining_.load(std::memory_order_acquire) &&
+           Clock::now() >= drainDeadline_;
+  };
+  const auto boundaryGiveUp = [&] {
+    if (!draining_.load(std::memory_order_acquire)) return false;
+    const auto now = Clock::now();
+    return now >= drainDeadline_ || now - lastFrameAt >= kDrainQuiet;
+  };
+  for (;;) {
+    std::uint8_t hb[wire::FrameHeader::kBytes];
+    auto r = readFull(fd, hb, sizeof(hb), boundaryGiveUp);
+    if (r != ReadResult::Ok) {
+      if (r == ReadResult::Error && !draining_.load()) {
+        std::fprintf(stderr,
+                     "yewpar-tcp: rank %d: link from rank %d broke "
+                     "mid-frame (%s)\n",
+                     cfg_.rank, peerRank, errnoText().c_str());
+        killLink(p);
+      }
+      break;
+    }
+    const auto h = wire::FrameHeader::decode(hb);
+    if (h.payloadLen > wire::kMaxFramePayload) {
+      // A desynchronized or hostile stream: kill the whole link, not just
+      // this thread - leaving the socket open could wedge the peer's
+      // sender (and its shutdown join) once buffers fill.
+      std::fprintf(stderr,
+                   "yewpar-tcp: rank %d: oversized frame (%u bytes) from "
+                   "rank %d; closing the link\n",
+                   cfg_.rank, h.payloadLen, peerRank);
+      killLink(p);
+      break;
+    }
+    std::vector<std::uint8_t> payload(h.payloadLen);
+    r = readFull(fd, payload.data(), payload.size(), midFrameGiveUp);
+    if (r != ReadResult::Ok) {
+      if (!draining_.load()) {
+        std::fprintf(stderr,
+                     "yewpar-tcp: rank %d: truncated frame from rank %d\n",
+                     cfg_.rank, peerRank);
+        killLink(p);
+      }
+      break;
+    }
+    pushInbox(Message{peerRank, cfg_.rank, static_cast<int>(h.tag),
+                      std::move(payload)});
+    lastFrameAt = Clock::now();
+  }
+}
+
+void TcpTransport::shutdown() {
+  if (shutdownDone_.exchange(true)) return;
+  // Phase 1: senders drain their queues, then half-close.
+  for (auto& p : peers_) {
+    {
+      std::lock_guard lock(p->mtx);
+      p->closing = true;
+    }
+    p->cv.notify_all();
+  }
+  for (auto& p : peers_) {
+    if (p->sender.joinable()) p->sender.join();
+  }
+  // Phase 2: receivers read until the peer's half-close (EOF), bounded in
+  // case a peer died without closing.
+  drainDeadline_ = Clock::now() + cfg_.drainTimeout;
+  draining_.store(true, std::memory_order_release);
+  for (auto& p : peers_) {
+    if (p->receiver.joinable()) p->receiver.join();
+  }
+  // Phase 3: both directions done; close the sockets.
+  for (auto& p : peers_) {
+    if (p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+std::size_t TcpTransport::queueHighWater() const {
+  std::size_t hw = 0;
+  for (const auto& p : peers_) {
+    std::lock_guard lock(p->mtx);
+    if (p->highWater > hw) hw = p->highWater;
+  }
+  return hw;
+}
+
+}  // namespace yewpar::rt

@@ -1,0 +1,149 @@
+#pragma once
+
+// Real multi-process transport: one locality per OS process, messages as
+// length-prefixed frames over TCP (loopback or LAN).
+//
+// Topology and startup. Every process is given the same ordered peer list
+// (`host:port` per rank) and its own rank. Rank i listens on its own port,
+// actively connects to every rank j < i, and accepts connections from every
+// rank j > i, so each unordered pair shares exactly one socket carrying
+// traffic in both directions. Each connection opens with a Handshake in
+// both directions (magic + tag-table protocol version + rank + world size,
+// see transport/wire.hpp); any mismatch aborts with a TransportError naming
+// the peer. The constructor returns only once the full mesh is up - that
+// doubles as the start barrier: no search message can be sent before every
+// rank is reachable.
+//
+// Threads. Per peer: one sender thread (drains an unbounded outbound queue
+// so send() never blocks - the manager thread answers steal requests, and a
+// blocking send could deadlock a request/reply cycle) and one receiver
+// thread (reads frames, validates lengths against wire::kMaxFramePayload,
+// and pushes into the single local inbox that recvWait serves). Self-sends
+// go straight to the inbox, mirroring the simulated backend's loopback.
+//
+// Shutdown ordering (graceful, drains in-flight frames):
+//   1. each sender thread finishes writing every queued frame, then
+//      half-closes its socket (shutdown(SHUT_WR)) - the frame boundary is
+//      never cut mid-message;
+//   2. each receiver thread keeps reading until the peer's half-close
+//      arrives as EOF (bounded by TcpConfig::drainTimeout in case the peer
+//      died), so frames already on the wire are received, not reset;
+//   3. sockets close once both directions are done.
+// A rank may therefore shut down as soon as its own work is finished; late
+// traffic from slower peers is still drained and simply dropped unread,
+// matching the simulated backend's "messages left queued are undelivered".
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/transport/transport.hpp"
+#include "runtime/transport/wire.hpp"
+
+namespace yewpar::rt {
+
+struct TcpConfig {
+  // This process's locality id: an index into `peers`.
+  int rank = 0;
+  // One `host:port` endpoint per rank, identical on every process.
+  std::vector<std::string> peers;
+  // How long to keep retrying connects while the mesh comes up.
+  std::chrono::milliseconds connectTimeout{15000};
+  // How long a receiver waits for a peer's half-close during shutdown.
+  std::chrono::milliseconds drainTimeout{5000};
+};
+
+// Split "host:port"; throws TransportError on malformed specs.
+std::pair<std::string, std::uint16_t> parseEndpoint(const std::string& spec);
+
+// Blocking handshake halves over a connected socket, exposed for tests.
+// readHandshake validates magic, protocol version and world size and throws
+// TransportError with a diagnosis on any mismatch or short read.
+void sendHandshake(int fd, int rank, int world);
+wire::Handshake readHandshake(int fd, int expectWorld,
+                              std::chrono::milliseconds timeout);
+
+class TcpTransport : public Transport {
+ public:
+  // Establishes the full mesh before returning (the start barrier).
+  explicit TcpTransport(TcpConfig cfg);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  int size() const override { return world_; }
+  int rank() const { return cfg_.rank; }
+
+  void send(Message m) override;
+  std::optional<Message> tryRecv(int loc) override;
+  std::optional<Message> recvWait(int loc,
+                                  std::chrono::microseconds timeout) override;
+
+  // Drain-and-close, idempotent (see the shutdown ordering above).
+  void shutdown() override;
+
+  std::uint64_t messagesSent() const override {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytesSent() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  // One frame per message on this backend (no batching layer yet).
+  std::uint64_t framesSent() const override {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t immediateMessages() const override { return messagesSent(); }
+
+  // Highest outbound-queue depth seen on any single peer: the TCP analogue
+  // of the simulated fabric's in-flight high-water mark.
+  std::size_t queueHighWater() const override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::thread sender;
+    std::thread receiver;
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<Message> sendq;
+    bool closing = false;
+    bool dead = false;  // write/read error; outbound traffic is dropped
+    std::size_t highWater = 0;
+  };
+
+  void senderLoop(int peerRank);
+  void receiverLoop(int peerRank);
+  void pushInbox(Message m);
+
+  // Tear a broken link down: mark it dead (future send() drops) and
+  // shut the socket both ways so a sender blocked mid-write fails fast
+  // instead of wedging shutdown()'s join.
+  void killLink(Peer& p);
+
+  TcpConfig cfg_;
+  int world_ = 0;
+  int listenFd_ = -1;
+  std::vector<std::unique_ptr<Peer>> peers_;  // index = rank; own slot unused
+
+  std::mutex inboxMtx_;
+  std::condition_variable inboxCv_;
+  std::deque<Message> inbox_;
+
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point drainDeadline_{};
+  std::atomic<bool> shutdownDone_{false};
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> frames_{0};
+};
+
+}  // namespace yewpar::rt

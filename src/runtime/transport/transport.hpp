@@ -1,0 +1,101 @@
+#pragma once
+
+// The locality-to-locality byte transport interface.
+//
+// Everything above this line of the runtime (Locality, the skeleton engine,
+// the termination detector) moves serialized Messages and never cares how
+// they travel. Two backends implement the interface:
+//
+//   * InProcTransport (transport/inproc.hpp) - the simulated fabric: all
+//     localities live in one process and messages cross thread boundaries
+//     through per-link queues with batching, back-pressure and delay models.
+//   * TcpTransport (transport/tcp.hpp) - one locality per OS process;
+//     messages travel as length-prefixed frames over TCP sockets, so the
+//     same binary runs as N real processes on loopback or a LAN.
+//
+// A Transport serves receives for one or more local localities; `recvWait`
+// and `tryRecv` take the locality id so the in-process backend can host all
+// of them, while the TCP backend hosts exactly one rank and rejects others.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/message.hpp"
+#include "runtime/metrics.hpp"
+
+namespace yewpar::rt {
+
+// Configuration, connection and framing failures. Deliberately a distinct
+// type: a transport error at startup (bad peer list, version mismatch) must
+// abort the run with a clear message, not be confused with a search error.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Number of localities reachable through this transport (the world size),
+  // including the local one(s).
+  virtual int size() const = 0;
+
+  // Queue `m` for delivery to m.dst. Thread-safe and non-blocking: a slow
+  // or congested destination delays delivery, it never wedges the sender
+  // (the manager thread sends steal replies, so a blocking send could
+  // deadlock a request/reply cycle). Self-sends (src == dst) are loopback
+  // and must always arrive.
+  virtual void send(Message m) = 0;
+
+  // Convenience fan-out of the same tag/payload to every locality except
+  // `src` itself.
+  virtual void broadcast(int src, int tagId,
+                         const std::vector<std::uint8_t>& payload) {
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst == src) continue;
+      send(Message{src, dst, tagId, payload});
+    }
+  }
+
+  // Non-blocking receive for locality `loc`.
+  virtual std::optional<Message> tryRecv(int loc) = 0;
+
+  // Blocking receive with timeout; empty on timeout.
+  virtual std::optional<Message> recvWait(
+      int loc, std::chrono::microseconds timeout) = 0;
+
+  // Push out anything still buffered (end-of-run accounting; batching
+  // backends override).
+  virtual void flushAll() {}
+
+  // Graceful teardown: drain every queued outbound frame to the wire, then
+  // close. Idempotent; called once the search and gather are finished.
+  virtual void shutdown() {}
+
+  // ---- accounting ------------------------------------------------------
+  // Logical messages / payload bytes handed to send(), and wire frames
+  // actually emitted (batching makes frames <= messages).
+  virtual std::uint64_t messagesSent() const = 0;
+  virtual std::uint64_t bytesSent() const = 0;
+  virtual std::uint64_t framesSent() const = 0;
+
+  // Batching/back-pressure/latency detail; meaningful for the simulated
+  // backend, zero for backends without those layers.
+  virtual std::uint64_t batchedMessages() const { return 0; }
+  virtual std::uint64_t immediateMessages() const { return 0; }
+  virtual std::uint64_t spilledMessages() const { return 0; }
+  virtual std::size_t queueHighWater() const { return 0; }
+  virtual std::array<std::uint64_t, kNetLatencyBuckets> latencyHistogram()
+      const {
+    return {};
+  }
+};
+
+}  // namespace yewpar::rt

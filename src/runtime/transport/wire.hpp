@@ -1,0 +1,128 @@
+#pragma once
+
+// Wire format shared by the TCP transport's two ends: the connection
+// handshake and the per-message frame header. Everything on the wire is
+// little-endian and fixed-width, encoded/decoded explicitly (never memcpy'd
+// structs), so two builds of this code interoperate regardless of compiler
+// padding.
+//
+// Handshake (one per direction, once per connection):
+//   u32 magic     'Y','E','W','P' - rejects connections from arbitrary
+//                 services (or misdirected port numbers) immediately.
+//   u32 version   protocolVersion(): a hash of the rt::tag table. Two
+//                 binaries whose message-tag vocabularies differ would
+//                 misparse each other's traffic; they must fail fast at
+//                 connect time with a clear error instead.
+//   u32 rank      the sender's locality id.
+//   u32 world     the sender's locality count; both sides must agree on
+//                 the size of the mesh they are joining.
+//
+// Frame (one per Message):
+//   u32 payloadLen   length of the serialized payload that follows.
+//   u32 tag          rt::tag message tag.
+//   u8[payloadLen]   opaque archive bytes.
+// The sender's rank is fixed per connection by the handshake, and the
+// destination is whoever owns the receiving end, so neither travels per
+// frame.
+
+#include <array>
+#include <cstdint>
+
+#include "runtime/message.hpp"
+
+namespace yewpar::rt::wire {
+
+inline constexpr std::uint32_t kMagic = 0x50574559u;  // "YEWP", little-endian
+
+// Frames above this are rejected as corruption before any allocation: no
+// search payload (task chunk, space broadcast, gather) comes anywhere near
+// 256 MiB, but a desynchronized or hostile stream could claim to.
+inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
+
+// Protocol version, derived from the rt::tag table: FNV-1a over every tag
+// value in declaration order. Adding, removing or renumbering a message tag
+// changes the version, so mixed-build meshes are refused at handshake time.
+constexpr std::uint32_t protocolVersion() {
+  constexpr int tags[] = {
+      tag::kShutdownManager, tag::kSnapshotRequest, tag::kSnapshotReply,
+      tag::kTerminate,       tag::kBoundUpdate,     tag::kPoolStealRequest,
+      tag::kPoolStealReply,  tag::kStackStealRequest,
+      tag::kStackStealReply, tag::kSpaceBroadcast,  tag::kGatherRequest,
+      tag::kGatherReply,     tag::kStopSearch,      tag::kUser,
+  };
+  std::uint32_t h = 2166136261u;
+  for (int t : tags) {
+    h = (h ^ static_cast<std::uint32_t>(t)) * 16777619u;
+  }
+  return h;
+}
+
+// ---- little-endian u32 helpers ------------------------------------------
+
+inline void putU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t getU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// ---- handshake -----------------------------------------------------------
+
+struct Handshake {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = protocolVersion();
+  std::uint32_t rank = 0;
+  std::uint32_t world = 0;
+
+  static constexpr std::size_t kBytes = 16;
+
+  std::array<std::uint8_t, kBytes> encode() const {
+    std::array<std::uint8_t, kBytes> b{};
+    putU32(b.data(), magic);
+    putU32(b.data() + 4, version);
+    putU32(b.data() + 8, rank);
+    putU32(b.data() + 12, world);
+    return b;
+  }
+
+  static Handshake decode(const std::uint8_t* p) {
+    Handshake h;
+    h.magic = getU32(p);
+    h.version = getU32(p + 4);
+    h.rank = getU32(p + 8);
+    h.world = getU32(p + 12);
+    return h;
+  }
+};
+
+// ---- frame header --------------------------------------------------------
+
+struct FrameHeader {
+  std::uint32_t payloadLen = 0;
+  std::uint32_t tag = 0;
+
+  static constexpr std::size_t kBytes = 8;
+
+  std::array<std::uint8_t, kBytes> encode() const {
+    std::array<std::uint8_t, kBytes> b{};
+    putU32(b.data(), payloadLen);
+    putU32(b.data() + 4, tag);
+    return b;
+  }
+
+  static FrameHeader decode(const std::uint8_t* p) {
+    FrameHeader h;
+    h.payloadLen = getU32(p);
+    h.tag = getU32(p + 4);
+    return h;
+  }
+};
+
+}  // namespace yewpar::rt::wire

@@ -18,6 +18,16 @@
 
 namespace yewpar {
 
+// Malformed serialized data: truncated reads, absurd element counts, or
+// trailing bytes after a complete value. A typed error because wire frames
+// arrive from other processes: a mismatched or corrupted peer must surface
+// as a parse failure, never as an allocation blow-up or out-of-bounds read.
+class ArchiveError : public std::runtime_error {
+ public:
+  explicit ArchiveError(const std::string& what)
+      : std::runtime_error("archive: " + what) {}
+};
+
 class OArchive;
 class IArchive;
 
@@ -91,6 +101,9 @@ class OArchive {
   std::vector<std::uint8_t> buf_;
 };
 
+// Deserializer over untrusted bytes (wire frames arrive from other
+// processes). Every read is bounds-checked BEFORE any allocation sized by
+// the data itself, and all failures throw ArchiveError.
 class IArchive {
  public:
   explicit IArchive(std::vector<std::uint8_t> bytes)
@@ -105,26 +118,29 @@ class IArchive {
   }
 
   IArchive& operator>>(std::string& s) {
-    std::uint64_t n = 0;
-    *this >> n;
-    need(n);
-    s.assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
+    const std::uint64_t n = readCount(1);
+    s.assign(reinterpret_cast<const char*>(buf_.data() + pos_),
+             static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return *this;
   }
 
   template <typename T>
   IArchive& operator>>(std::vector<T>& v) {
-    std::uint64_t n = 0;
-    *this >> n;
     if constexpr (detail::TriviallySerializable<T>) {
-      need(n * sizeof(T));
-      v.resize(n);
-      std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
-      pos_ += n * sizeof(T);
+      const std::uint64_t n = readCount(sizeof(T));
+      v.resize(static_cast<std::size_t>(n));
+      std::memcpy(v.data(), buf_.data() + pos_,
+                  static_cast<std::size_t>(n) * sizeof(T));
+      pos_ += static_cast<std::size_t>(n) * sizeof(T);
     } else {
+      // Element sizes vary, so the exact bound is unknowable upfront; cap
+      // the reservation at one element per remaining byte and let the
+      // per-element reads throw the moment the payload runs dry.
+      const std::uint64_t n = readCount(0);
       v.clear();
-      v.reserve(n);
+      v.reserve(static_cast<std::size_t>(
+          n < remaining() ? n : remaining()));
       for (std::uint64_t i = 0; i < n; ++i) {
         T e;
         *this >> e;
@@ -142,7 +158,14 @@ class IArchive {
   IArchive& operator>>(DynBitset& b) {
     std::uint64_t nbits = 0;
     *this >> nbits;
-    b = DynBitset(nbits);
+    // Bound the bit count before DynBitset allocates for it: the words that
+    // hold `nbits` bits must actually be present in the payload.
+    const std::uint64_t nwords =
+        nbits / DynBitset::kWordBits + (nbits % DynBitset::kWordBits != 0);
+    if (nwords > remaining() / sizeof(DynBitset::Word)) {
+      throw ArchiveError("bitset larger than remaining payload");
+    }
+    b = DynBitset(static_cast<std::size_t>(nbits));
     const std::size_t nbytes = b.wordCount() * sizeof(DynBitset::Word);
     need(nbytes);
     std::memcpy(b.data(), buf_.data() + pos_, nbytes);
@@ -159,10 +182,27 @@ class IArchive {
   bool exhausted() const { return pos_ == buf_.size(); }
 
  private:
-  void need(std::size_t n) {
-    if (pos_ + n > buf_.size()) {
-      throw std::runtime_error("IArchive: truncated message");
+  std::uint64_t remaining() const {
+    return static_cast<std::uint64_t>(buf_.size() - pos_);
+  }
+
+  void need(std::uint64_t n) {
+    if (n > remaining()) {
+      throw ArchiveError("truncated payload");
     }
+  }
+
+  // Read a length prefix for `elemSize`-byte elements, rejecting counts the
+  // remaining payload cannot possibly hold - overflow-safely, so a huge
+  // count can neither wrap the size arithmetic nor drive an allocation.
+  // elemSize 0 skips the capacity check (variable-size elements).
+  std::uint64_t readCount(std::size_t elemSize) {
+    std::uint64_t n = 0;
+    *this >> n;
+    if (elemSize != 0 && n > remaining() / elemSize) {
+      throw ArchiveError("length prefix exceeds remaining payload");
+    }
+    return n;
   }
 
   std::vector<std::uint8_t> buf_;
@@ -177,12 +217,18 @@ std::vector<std::uint8_t> toBytes(const T& t) {
   return std::move(a).takeBytes();
 }
 
-// bytes -> value. T must be default-constructible.
+// bytes -> value. T must be default-constructible. Rejects trailing bytes:
+// a payload that decodes to a complete T with data left over was produced
+// by a different (or corrupted) writer, and silently ignoring the tail
+// would let mismatched message structs half-parse.
 template <typename T>
 T fromBytes(std::vector<std::uint8_t> bytes) {
   IArchive a(std::move(bytes));
   T t{};
   a >> t;
+  if (!a.exhausted()) {
+    throw ArchiveError("trailing bytes after complete value");
+  }
   return t;
 }
 
