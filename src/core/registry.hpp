@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <optional>
 
 #include "runtime/locality.hpp"
 #include "runtime/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace yewpar {
 
@@ -38,10 +38,12 @@ struct Registry {
   std::atomic<std::int64_t> localBound{kObjMin};
 
   // Best node found *at this locality*; the globally best node lives at the
-  // locality of its finder and is selected at gather time.
-  std::mutex incMtx;
-  std::optional<Node> incumbent;
-  std::int64_t incumbentObj = kObjMin;
+  // locality of its finder and is selected at gather time (which also takes
+  // incMtx - cheap there, and it keeps the guarded-access discipline
+  // uniform instead of relying on "the workers have joined by now").
+  rt::Mutex incMtx;
+  std::optional<Node> incumbent GUARDED_BY(incMtx);
+  std::int64_t incumbentObj GUARDED_BY(incMtx) = kObjMin;
 
   // Decision short-circuit / maxNodes-cap flag: when set, workers drain
   // remaining tasks without searching them.
@@ -51,8 +53,8 @@ struct Registry {
   std::atomic<bool> truncated{false};
 
   // Enumeration accumulator. Workers fold locally and merge here on exit.
-  std::mutex accMtx;
-  EnumValue acc{};
+  rt::Mutex accMtx;
+  EnumValue acc GUARDED_BY(accMtx){};
 
   rt::Metrics metrics;
 
@@ -68,9 +70,10 @@ struct Registry {
   // strictly improved, in which case the caller broadcasts the new bound
   // (rule (strengthen) of Fig. 2; the broadcast lives in the engine, which
   // owns the message tags).
-  bool strengthenIncumbent(const Node& n, std::int64_t obj) {
+  bool strengthenIncumbent(const Node& n, std::int64_t obj)
+      EXCLUDES(incMtx) {
     if (!atomicMax(localBound, obj)) return false;
-    std::lock_guard lock(incMtx);
+    rt::LockGuard lock(incMtx);
     if (obj > incumbentObj) {
       incumbent = n;
       incumbentObj = obj;
@@ -80,8 +83,8 @@ struct Registry {
 
   // Merge a worker's enumeration fold into the locality accumulator.
   template <typename M>
-  void mergeAccumulator(EnumValue v) {
-    std::lock_guard lock(accMtx);
+  void mergeAccumulator(EnumValue v) EXCLUDES(accMtx) {
+    rt::LockGuard lock(accMtx);
     acc = M::plus(std::move(acc), std::move(v));
   }
 };

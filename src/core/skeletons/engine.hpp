@@ -30,6 +30,7 @@
 #include "runtime/worker_team.hpp"
 #include "runtime/workpool.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace yewpar::detail {
@@ -417,7 +418,7 @@ struct Engine {
 
     // Rank 0 collects one GatherMsg per peer once the search terminates.
     // Registered before start() so a fast peer cannot race the handler.
-    std::mutex gatherMtx;
+    rt::Mutex gatherMtx;
     std::condition_variable gatherCv;
     std::vector<GatherMsg> gathered;
     if (p.rank == 0 && world > 1) {
@@ -425,7 +426,7 @@ struct Engine {
           rt::tag::kGatherReply, [&](rt::Message&& m) {
             auto g = fromBytes<GatherMsg>(std::move(m.payload));
             {
-              std::lock_guard lock(gatherMtx);
+              rt::LockGuard lock(gatherMtx);
               gathered.push_back(std::move(g));
             }
             gatherCv.notify_all();
@@ -452,10 +453,17 @@ struct Engine {
     Out out;
     if (p.rank == 0) {
       if (world > 1) {
-        std::unique_lock lock(gatherMtx);
-        const bool all = gatherCv.wait_for(lock, kGatherTimeout, [&] {
-          return static_cast<int>(gathered.size()) == world - 1;
-        });
+        // Explicit predicate loop (not a wait lambda) so the thread-safety
+        // analysis sees `gathered` read with gatherMtx held.
+        rt::UniqueLock lock(gatherMtx);
+        const auto deadline = std::chrono::steady_clock::now() + kGatherTimeout;
+        while (static_cast<int>(gathered.size()) != world - 1) {
+          if (gatherCv.wait_until(lock.native(), deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+        const bool all = static_cast<int>(gathered.size()) == world - 1;
         if (!all) {
           throw rt::TransportError(
               "gather: received " + std::to_string(gathered.size()) +
@@ -523,10 +531,14 @@ struct Engine {
     for (auto& l : locs) {
       auto& reg = l->reg();
       out.metrics += reg.metrics.snapshot();
+      // Workers have joined, but the guarded fields are read under their
+      // locks anyway: the discipline is uniform, and the locks are free.
       if constexpr (SearchType::isEnumeration) {
         using M = typename SearchType::M;
+        rt::LockGuard lock(reg.accMtx);
         out.sum = M::plus(std::move(out.sum), std::move(reg.acc));
       } else {
+        rt::LockGuard lock(reg.incMtx);
         if (reg.incumbentObj > out.objective) {
           out.objective = reg.incumbentObj;
           out.incumbent = std::move(reg.incumbent);
@@ -550,8 +562,10 @@ struct Engine {
     fillNetMetrics(g.metrics, net);
     g.truncated = reg.truncated.load() ? 1 : 0;
     if constexpr (SearchType::isEnumeration) {
+      rt::LockGuard lock(reg.accMtx);
       g.sum = reg.acc;
     } else {
+      rt::LockGuard lock(reg.incMtx);
       if (reg.incumbent.has_value()) {
         g.hasIncumbent = 1;
         g.incumbent = *reg.incumbent;
@@ -573,8 +587,10 @@ struct Engine {
     out.metrics += reg.metrics.snapshot();
     if constexpr (SearchType::isEnumeration) {
       using M = typename SearchType::M;
+      rt::LockGuard lock(reg.accMtx);
       out.sum = M::plus(std::move(out.sum), std::move(reg.acc));
     } else {
+      rt::LockGuard lock(reg.incMtx);
       if (reg.incumbentObj > out.objective) {
         out.objective = reg.incumbentObj;
         out.incumbent = std::move(reg.incumbent);

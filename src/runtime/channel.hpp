@@ -9,57 +9,69 @@
 //                    polls `hasRequest()` (a relaxed atomic load, cheap enough
 //                    to run on every search expansion step) and answers with
 //                    zero or more tasks.
+//
+// Lock discipline (compile-time checked, see util/thread_annotations.hpp):
+// each channel owns one mutex guarding its queue/response state; the
+// StealChannel additionally serializes competing thieves on thiefMtx_,
+// always acquired before mtx_.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
 template <typename T>
 class Channel {
  public:
-  void push(T v) {
+  void push(T v) EXCLUDES(mtx_) {
     {
-      std::lock_guard lock(mtx_);
+      LockGuard lock(mtx_);
       q_.push_back(std::move(v));
     }
     cv_.notify_one();
   }
 
-  std::optional<T> tryPop() {
-    std::lock_guard lock(mtx_);
+  std::optional<T> tryPop() EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
     q_.pop_front();
     return v;
   }
 
-  std::optional<T> popWait(std::chrono::microseconds timeout) {
-    std::unique_lock lock(mtx_);
-    if (!cv_.wait_for(lock, timeout, [&] { return !q_.empty(); })) {
-      return std::nullopt;
+  std::optional<T> popWait(std::chrono::microseconds timeout)
+      EXCLUDES(mtx_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mtx_);
+    while (q_.empty()) {
+      if (cv_.wait_until(lock.native(), deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
     }
+    if (q_.empty()) return std::nullopt;
     T v = std::move(q_.front());
     q_.pop_front();
     return v;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mtx_);
+  std::size_t size() const EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return q_.size();
   }
 
   bool empty() const { return size() == 0; }
 
  private:
-  mutable std::mutex mtx_;
+  mutable Mutex mtx_;
   std::condition_variable cv_;
-  std::deque<T> q_;
+  std::deque<T> q_ GUARDED_BY(mtx_);
 };
 
 // Single-outstanding-request steal rendezvous. Multiple thieves serialize on
@@ -77,8 +89,8 @@ class StealChannel {
   // meaning "no work to give"). Returns false - leaving `tasks` untouched -
   // if the thief has withdrawn the request in the meantime; the victim must
   // then reintegrate the split-off tasks itself (work must never be lost).
-  bool respond(std::vector<T>&& tasks) {
-    std::lock_guard lock(mtx_);
+  bool respond(std::vector<T>&& tasks) EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     if (!requested_.load(std::memory_order_relaxed)) return false;
     response_ = std::move(tasks);
     responded_ = true;
@@ -88,36 +100,53 @@ class StealChannel {
   }
 
   // Thief: post a request and wait for the victim's answer. Returns nothing
-  // on timeout (the request is withdrawn) or when the victim had no work.
-  std::optional<std::vector<T>> steal(std::chrono::microseconds timeout) {
-    std::unique_lock thiefLock(thiefMtx_, std::try_to_lock);
-    if (!thiefLock.owns_lock()) return std::nullopt;  // victim is busy with
-                                                      // another thief
+  // on timeout (the request is withdrawn), when the victim had no work, or
+  // when another thief already holds the rendezvous.
+  std::optional<std::vector<T>> steal(std::chrono::microseconds timeout)
+      EXCLUDES(thiefMtx_, mtx_) {
+    if (!thiefMtx_.try_lock()) return std::nullopt;  // victim is busy with
+                                                     // another thief
+    auto out = stealExclusive(timeout);
+    thiefMtx_.unlock();
+    return out;
+  }
+
+ private:
+  // The single thief holding thiefMtx_ runs the request/response cycle.
+  std::optional<std::vector<T>> stealExclusive(
+      std::chrono::microseconds timeout) REQUIRES(thiefMtx_)
+      EXCLUDES(mtx_) {
     {
-      std::lock_guard lock(mtx_);
+      LockGuard lock(mtx_);
       responded_ = false;
       response_.clear();
       requested_.store(true, std::memory_order_release);
     }
-    std::unique_lock lock(mtx_);
-    if (!cv_.wait_for(lock, timeout, [&] { return responded_; })) {
-      // Withdraw the request; if the victim responded in the meantime the
-      // response is consumed below.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mtx_);
+    while (!responded_) {
+      if (cv_.wait_until(lock.native(), deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!responded_) {
+      // Withdraw the request; respond() needs mtx_, so once we hold it the
+      // victim can no longer slip an answer in.
       requested_.store(false, std::memory_order_release);
-      if (!responded_) return std::nullopt;
+      return std::nullopt;
     }
     responded_ = false;
     if (response_.empty()) return std::nullopt;
     return std::move(response_);
   }
 
- private:
-  std::mutex thiefMtx_;
-  mutable std::mutex mtx_;
+  Mutex thiefMtx_ ACQUIRED_BEFORE(mtx_);
+  mutable Mutex mtx_;
   std::condition_variable cv_;
   std::atomic<bool> requested_{false};
-  bool responded_ = false;
-  std::vector<T> response_;
+  bool responded_ GUARDED_BY(mtx_) = false;
+  std::vector<T> response_ GUARDED_BY(mtx_);
 };
 
 }  // namespace yewpar::rt

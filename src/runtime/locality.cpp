@@ -21,18 +21,26 @@ void Locality::stop() {
   running_.store(false);
 }
 
+Locality::Handler Locality::findHandler(int tagId) {
+  LockGuard lock(handlersMtx_);
+  auto it = handlers_.find(tagId);
+  return it != handlers_.end() ? it->second : Handler{};
+}
+
 void Locality::managerLoop() {
   using namespace std::chrono_literals;
   while (true) {
     auto msg = net_.recvWait(id_, 500us);
     if (!msg) continue;
     if (msg->tag == tag::kShutdownManager) return;
-    auto it = handlers_.find(msg->tag);
-    if (it != handlers_.end()) {
+    // The handler is copied out under the map lock and invoked without it:
+    // holding handlersMtx_ across the callback would deadlock a handler
+    // that (re)registers, and serialize handler work against registration.
+    if (auto handler = findHandler(msg->tag)) {
       const int tagId = msg->tag;
       const int from = msg->src;
       try {
-        it->second(std::move(*msg));
+        handler(std::move(*msg));
       } catch (const ArchiveError& e) {
         // A malformed payload (truncated/overlong/trailing bytes) from a
         // peer must surface as a dropped message, never terminate the

@@ -15,6 +15,7 @@
 
 #include "runtime/message.hpp"
 #include "runtime/transport/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
@@ -34,9 +35,15 @@ class Locality {
   int id() const { return id_; }
   Transport& network() { return net_; }
 
-  // Register a handler for a message tag. Must be called before start().
-  // Handlers run on the manager thread; they must not block for long.
-  void registerHandler(int tagId, Handler h) { handlers_[tagId] = std::move(h); }
+  // Register a handler for a message tag. Handlers run on the manager
+  // thread; they must not block for long. Normally called before start(),
+  // but the map is mutex-guarded, so late registration (or re-registration)
+  // is safe too - previously a registerHandler racing the manager's lookup
+  // was a data race on the map.
+  void registerHandler(int tagId, Handler h) EXCLUDES(handlersMtx_) {
+    LockGuard lock(handlersMtx_);
+    handlers_[tagId] = std::move(h);
+  }
 
   // Launch the manager thread.
   void start();
@@ -57,9 +64,15 @@ class Locality {
  private:
   void managerLoop();
 
+  // Look up the handler for `tagId`, copying it out so the manager never
+  // holds handlersMtx_ across a handler invocation (a handler may call
+  // registerHandler or block on its own locks).
+  Handler findHandler(int tagId) EXCLUDES(handlersMtx_);
+
   Transport& net_;
   int id_;
-  std::unordered_map<int, Handler> handlers_;
+  Mutex handlersMtx_;
+  std::unordered_map<int, Handler> handlers_ GUARDED_BY(handlersMtx_);
   std::thread manager_;
   std::atomic<bool> running_{false};
 };

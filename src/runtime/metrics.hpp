@@ -4,6 +4,15 @@
 // Besides wall-clock time these are the primary evidence the benchmark
 // harness reports (nodes searched measures speculative work; spawns/steals
 // measure coordination volume; see DESIGN.md substitution 2).
+//
+// Concurrency discipline: Metrics is the mutex-free corner of the runtime -
+// every counter is a std::atomic bumped with relaxed ordering from worker
+// and manager threads, and snapshot() reads each counter independently. A
+// snapshot taken mid-run is therefore a per-counter-consistent view, not a
+// cross-counter-consistent one; exact totals are only meaningful once the
+// counting threads have quiesced (gather time). MetricsSnapshot itself is
+// plain data: never share one instance between threads without external
+// synchronisation.
 
 #include <array>
 #include <atomic>

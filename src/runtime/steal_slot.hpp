@@ -18,6 +18,11 @@
 // it matters - a monotonic clock and a strictly positive timeout make
 // every superseding claim strictly newer than the claim it replaces.
 //
+// Concurrency discipline: the slot is a single atomic - no mutex, nothing
+// for the thread-safety analysis to guard - because the whole point is that
+// claim/release are lone CAS operations racing by design; the token scheme
+// above, not a critical section, is what makes the races benign.
+//
 // Engine wiring (core/skeletons/engine.hpp): both remote steal protocols -
 // pool steals (kPoolStealRequest/Reply) and stack steals
 // (kStackStealRequest/Reply) - share one slot per locality, so a locality

@@ -29,7 +29,7 @@ TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
   if (loc_.id() == 0) {
     loc_.registerHandler(tag::kSnapshotReply, [this](Message&& m) {
       TermSnapshot s = fromBytes<TermSnapshot>(std::move(m.payload));
-      std::lock_guard lock(poll_.mtx);
+      LockGuard lock(poll_.mtx);
       if (static_cast<int>(s.round) != poll_.round) return;  // stale round
       poll_.replies += 1;
       poll_.sumCreated += s.created;
@@ -66,7 +66,7 @@ void TerminationDetector::leaderLoop() {
     std::uint64_t sumCreated;
     std::uint64_t sumCompleted;
     {
-      std::lock_guard lock(poll_.mtx);
+      LockGuard lock(poll_.mtx);
       poll_.round = round;
       poll_.replies = 0;
       poll_.sumCompleted = completed_.load(std::memory_order_acquire);
@@ -77,18 +77,24 @@ void TerminationDetector::leaderLoop() {
     for (int dst = 1; dst < nLoc_; ++dst) {
       loc_.send(dst, tag::kSnapshotRequest, toBytes(req));
     }
+    bool complete;
     {
-      std::unique_lock lock(poll_.mtx);
-      bool complete = poll_.cv.wait_for(lock, 50ms, [&] {
-        return poll_.replies == nLoc_ - 1;
-      });
-      if (!complete) {
-        // Lost replies (should not happen on this transport); retry round.
-        prevCreated = ~std::uint64_t{0};
-        continue;
+      UniqueLock lock(poll_.mtx);
+      const auto deadline = std::chrono::steady_clock::now() + 50ms;
+      while (poll_.replies != nLoc_ - 1) {
+        if (poll_.cv.wait_until(lock.native(), deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
       }
+      complete = poll_.replies == nLoc_ - 1;
       sumCreated = poll_.sumCreated;
       sumCompleted = poll_.sumCompleted;
+    }
+    if (!complete) {
+      // Lost replies (should not happen on this transport); retry round.
+      prevCreated = ~std::uint64_t{0};
+      continue;
     }
 
     if (sumCreated == sumCompleted && sumCreated > 0 &&

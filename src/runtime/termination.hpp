@@ -15,11 +15,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "runtime/locality.hpp"
 #include "util/archive.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
@@ -79,14 +79,16 @@ class TerminationDetector {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<bool> finished_{false};
 
-  // Leader state: replies for the current poll round.
+  // Leader state: replies for the current poll round. Written by the
+  // manager thread (the kSnapshotReply handler) and the leader polling
+  // thread; everything but the cv is guarded by mtx.
   struct PollState {
-    std::mutex mtx;
+    Mutex mtx;
     std::condition_variable cv;
-    int round = 0;
-    int replies = 0;
-    std::uint64_t sumCreated = 0;
-    std::uint64_t sumCompleted = 0;
+    int round GUARDED_BY(mtx) = 0;
+    int replies GUARDED_BY(mtx) = 0;
+    std::uint64_t sumCreated GUARDED_BY(mtx) = 0;
+    std::uint64_t sumCompleted GUARDED_BY(mtx) = 0;
   };
   PollState poll_;
   std::thread leaderThread_;

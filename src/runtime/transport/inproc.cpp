@@ -130,6 +130,9 @@ InProcTransport::InProcTransport(int nLocalities, NetConfig cfg)
   links_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) {
     links_.push_back(std::make_unique<Link>());
+    // Uncontended (no other thread can see the link yet); taken so the
+    // guarded-field discipline holds even during construction.
+    LockGuard lock(links_.back()->mtx);
     links_.back()->delayRng = Rng(mix64(cfg_.seed, i + 1));
   }
   inboxes_.reserve(n);
@@ -202,7 +205,7 @@ void InProcTransport::send(Message m) {
   const auto now = Clock::now();
   Link& l = link(m.src, dst);
   {
-    std::lock_guard lock(l.mtx);
+    LockGuard lock(l.mtx);
     l.messages.fetch_add(1, std::memory_order_relaxed);
     l.bytes.fetch_add(m.payload.size(), std::memory_order_relaxed);
     if (m.src == dst) {
@@ -234,7 +237,7 @@ void InProcTransport::broadcast(int src, int tagId,
 void InProcTransport::flushAll() {
   const auto now = Clock::now();
   for (auto& lp : links_) {
-    std::lock_guard lock(lp->mtx);
+    LockGuard lock(lp->mtx);
     flushLocked(*lp, now);
   }
   for (int dst = 0; dst < n_; ++dst) notifyInbox(dst);
@@ -244,14 +247,14 @@ std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) 
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
   int start;
   {
-    std::lock_guard g(box.mtx);
+    LockGuard g(box.mtx);
     start = box.nextSrc;
     box.nextSrc = (box.nextSrc + 1) % n_;
   }
   for (int i = 0; i < n_; ++i) {
     const int src = (start + i) % n_;
     Link& l = link(src, loc);
-    std::lock_guard lock(l.mtx);
+    LockGuard lock(l.mtx);
     if (!l.buffer.empty() && l.flushDue <= now) flushLocked(l, now);
     drainSpillLocked(l, now);
     if (!l.queue.empty() && l.queue.front().deliverAt <= now) {
@@ -272,7 +275,7 @@ InProcTransport::Clock::time_point InProcTransport::nextEventTime(int loc) {
   auto next = Clock::time_point::max();
   for (int src = 0; src < n_; ++src) {
     Link& l = link(src, loc);
-    std::lock_guard lock(l.mtx);
+    LockGuard lock(l.mtx);
     if (!l.buffer.empty() && l.flushDue < next) next = l.flushDue;
     if (!l.queue.empty() && l.queue.front().deliverAt < next) {
       next = l.queue.front().deliverAt;
@@ -288,7 +291,7 @@ std::optional<Message> InProcTransport::recvWait(int loc,
   for (;;) {
     std::uint64_t ver;
     {
-      std::lock_guard g(box.mtx);
+      LockGuard g(box.mtx);
       ver = box.version;
     }
     auto now = Clock::now();
@@ -296,16 +299,22 @@ std::optional<Message> InProcTransport::recvWait(int loc,
     if (now >= deadline) return std::nullopt;
     // Sleep until a sender bumps the version, the next known event (batch
     // deadline or in-flight delivery) matures, or the caller's deadline.
+    // Explicit predicate loop (not a wait lambda) so the thread-safety
+    // analysis sees box.version read with box.mtx held.
     const auto wake = std::min(deadline, nextEventTime(loc));
-    std::unique_lock lk(box.mtx);
-    box.cv.wait_until(lk, wake, [&] { return box.version != ver; });
+    UniqueLock lk(box.mtx);
+    while (box.version == ver) {
+      if (box.cv.wait_until(lk.native(), wake) == std::cv_status::timeout) {
+        break;
+      }
+    }
   }
 }
 
 void InProcTransport::notifyInbox(int dst) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(dst)];
   {
-    std::lock_guard g(box.mtx);
+    LockGuard g(box.mtx);
     ++box.version;
   }
   box.cv.notify_all();
@@ -345,7 +354,7 @@ std::uint64_t InProcTransport::spilledMessages() const {
 std::size_t InProcTransport::queueHighWater() const {
   std::size_t hw = 0;
   for (const auto& l : links_) {
-    std::lock_guard lock(l->mtx);
+    LockGuard lock(l->mtx);
     hw = std::max(hw, l->queueHighWater);
   }
   return hw;
@@ -355,7 +364,7 @@ std::array<std::uint64_t, kNetLatencyBuckets> InProcTransport::latencyHistogram(
     const {
   std::array<std::uint64_t, kNetLatencyBuckets> out{};
   for (const auto& l : links_) {
-    std::lock_guard lock(l->mtx);
+    LockGuard lock(l->mtx);
     for (int i = 0; i < kNetLatencyBuckets; ++i) {
       out[static_cast<std::size_t>(i)] +=
           l->latency[static_cast<std::size_t>(i)];
@@ -374,7 +383,7 @@ InProcTransport::LinkStats InProcTransport::linkStats(int src, int dst) const {
   s.immediate = l.immediate.load(std::memory_order_relaxed);
   s.spilled = l.spilled.load(std::memory_order_relaxed);
   {
-    std::lock_guard lock(l.mtx);
+    LockGuard lock(l.mtx);
     s.queueHighWater = l.queueHighWater;
   }
   return s;

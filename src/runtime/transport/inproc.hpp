@@ -45,7 +45,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +53,7 @@
 #include "runtime/metrics.hpp"
 #include "runtime/transport/transport.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
@@ -197,20 +197,20 @@ class InProcTransport : public Transport {
 
   // One directed (src, dst) link: batch buffer -> bounded queue (+ spill).
   struct Link {
-    mutable std::mutex mtx;
+    mutable Mutex mtx;
     // Layer 1: unflushed batch; flushDue is set when the first message of
     // the current batch is buffered.
-    std::vector<Message> buffer;
-    Clock::time_point flushDue{};
+    std::vector<Message> buffer GUARDED_BY(mtx);
+    Clock::time_point flushDue GUARDED_BY(mtx){};
     // Layer 2: in-flight messages, bounded by cfg.queueCap; overflow waits
     // in `spill` (FIFO) for a free slot, remembering when it was shed so
     // the latency histogram can charge the congestion wait.
-    std::deque<Pending> queue;
-    std::deque<Spilled> spill;
+    std::deque<Pending> queue GUARDED_BY(mtx);
+    std::deque<Spilled> spill GUARDED_BY(mtx);
     // Layer 3: monotone delivery floor keeping the link FIFO under random
     // per-message delays.
-    Clock::time_point fifoFloor{};
-    Rng delayRng;
+    Clock::time_point fifoFloor GUARDED_BY(mtx){};
+    Rng delayRng GUARDED_BY(mtx);
     // Stats. Counters are atomics because totals are summed without taking
     // the link lock; highWater/latency are only touched under mtx.
     std::atomic<std::uint64_t> messages{0};
@@ -219,18 +219,18 @@ class InProcTransport : public Transport {
     std::atomic<std::uint64_t> batched{0};
     std::atomic<std::uint64_t> immediate{0};
     std::atomic<std::uint64_t> spilled{0};
-    std::size_t queueHighWater = 0;
-    std::array<std::uint64_t, kNetLatencyBuckets> latency{};
+    std::size_t queueHighWater GUARDED_BY(mtx) = 0;
+    std::array<std::uint64_t, kNetLatencyBuckets> latency GUARDED_BY(mtx){};
   };
 
   // Receivers block here; senders bump `version` under mtx on every send
   // so a flush between a poll and the wait cannot be missed.
   struct Inbox {
-    std::mutex mtx;
+    Mutex mtx;
     std::condition_variable cv;
-    std::uint64_t version = 0;
+    std::uint64_t version GUARDED_BY(mtx) = 0;
     // Round-robin scan start so one chatty link cannot starve the others.
-    int nextSrc = 0;
+    int nextSrc GUARDED_BY(mtx) = 0;
   };
 
   Link& link(int src, int dst) {
@@ -246,17 +246,17 @@ class InProcTransport : public Transport {
 
   // Move the whole batch to the in-flight queue as one frame. Caller holds
   // l.mtx.
-  void flushLocked(Link& l, Clock::time_point now);
+  void flushLocked(Link& l, Clock::time_point now) REQUIRES(l.mtx);
 
   // Stamp a delivery time and append to the in-flight queue. Caller holds
   // l.mtx and has checked the cap. `sentAt` is when the message entered
   // layer 2 (the flush, or the shed for spilled messages), so the latency
   // histogram records modelled delay plus any congestion wait.
   void enqueueLocked(Link& l, Message m, Clock::time_point now,
-                     Clock::time_point sentAt);
+                     Clock::time_point sentAt) REQUIRES(l.mtx);
 
   // Promote spilled messages into freed queue slots. Caller holds l.mtx.
-  void drainSpillLocked(Link& l, Clock::time_point now);
+  void drainSpillLocked(Link& l, Clock::time_point now) REQUIRES(l.mtx);
 
   // Flush-if-due + promote on every link into `loc`, then pop the first
   // deliverable message in round-robin link order.

@@ -39,13 +39,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/transport/transport.hpp"
 #include "runtime/transport/wire.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
@@ -108,15 +108,19 @@ class TcpTransport : public Transport {
 
  private:
   struct Peer {
+    // Set during mesh construction (before sender/receiver spawn) and reset
+    // only in shutdown() after both threads have joined, so the threads read
+    // it without the lock; killLink's ::shutdown() on it is async-safe.
     int fd = -1;
     std::thread sender;
     std::thread receiver;
-    std::mutex mtx;
+    mutable Mutex mtx;
     std::condition_variable cv;
-    std::deque<Message> sendq;
-    bool closing = false;
-    bool dead = false;  // write/read error; outbound traffic is dropped
-    std::size_t highWater = 0;
+    std::deque<Message> sendq GUARDED_BY(mtx);
+    bool closing GUARDED_BY(mtx) = false;
+    // Write/read error; outbound traffic is dropped.
+    bool dead GUARDED_BY(mtx) = false;
+    std::size_t highWater GUARDED_BY(mtx) = 0;
   };
 
   void senderLoop(int peerRank);
@@ -133,12 +137,16 @@ class TcpTransport : public Transport {
   int listenFd_ = -1;
   std::vector<std::unique_ptr<Peer>> peers_;  // index = rank; own slot unused
 
-  std::mutex inboxMtx_;
+  Mutex inboxMtx_;
   std::condition_variable inboxCv_;
-  std::deque<Message> inbox_;
+  std::deque<Message> inbox_ GUARDED_BY(inboxMtx_);
 
   std::atomic<bool> draining_{false};
-  std::chrono::steady_clock::time_point drainDeadline_{};
+  // Written by shutdown() before the draining_ release-store, read by the
+  // receiver threads after their acquire-load of draining_; atomic so a
+  // receiver's unordered peek (give-up lambdas fire every poll slice) is a
+  // race-free read rather than relying on the flag's fence alone.
+  std::atomic<std::chrono::steady_clock::time_point> drainDeadline_{};
   std::atomic<bool> shutdownDone_{false};
 
   std::atomic<std::uint64_t> messages_{0};

@@ -16,6 +16,12 @@
 // A Transport serves receives for one or more local localities; `recvWait`
 // and `tryRecv` take the locality id so the in-process backend can host all
 // of them, while the TCP backend hosts exactly one rank and rejects others.
+//
+// Thread-safety contract: every method may be called from any thread at any
+// time between construction and shutdown(). Implementations keep their
+// shared state behind rt::Mutex with GUARDED_BY annotations (or atomics),
+// so the clang thread-safety analysis checks the contract at compile time;
+// see docs/ARCHITECTURE.md "Lock hierarchy & guarded-state map".
 
 #include <array>
 #include <chrono>

@@ -3,6 +3,12 @@
 // A fixed team of worker threads. Workers continuously seek and execute
 // search tasks (Section 4.3); the loop body is supplied by the skeleton
 // engine. Joining happens in the destructor or via join().
+//
+// Concurrency discipline: threads_ needs no mutex because only the owning
+// thread touches it - it is filled in the constructor (before any worker
+// can observe the team) and drained by join()/the destructor; the workers
+// themselves only ever run `fn`, which they receive by copy. All shared
+// state lives behind the annotated runtime structures `fn` closes over.
 
 #include <functional>
 #include <thread>

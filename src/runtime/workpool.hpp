@@ -55,11 +55,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
@@ -183,32 +184,48 @@ class Workpool {
     return std::move(chunk.front());
   }
 
-  // Blocking pop with timeout, shared implementation.
-  std::optional<T> popWait(std::chrono::microseconds timeout) {
-    std::unique_lock lock(waitMtx_);
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+  // Blocking pop with timeout, shared implementation. Lock order: waitMtx_
+  // is held across the (internally locked) pop() calls, so waitMtx_ always
+  // nests OUTSIDE the concrete pool's mtx_; push paths release mtx_ before
+  // notifyWaiters() takes waitMtx_, so the two never invert.
+  std::optional<T> popWait(std::chrono::microseconds timeout)
+      EXCLUDES(waitMtx_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(waitMtx_);
     while (true) {
       if (auto t = pop()) return t;
-      if (waitCv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (waitCv_.wait_until(lock.native(), deadline) ==
+          std::cv_status::timeout) {
         return pop();
       }
     }
   }
 
  protected:
-  void notifyWaiters() { waitCv_.notify_all(); }
+  // Wake popWait sleepers after a push. The empty waitMtx_ critical section
+  // is load-bearing: a consumer that found the pool empty still holds
+  // waitMtx_ until its cv wait releases it, so acquiring the mutex here
+  // guarantees the sleeper is actually inside the wait before the
+  // notification fires. Notifying without it could land in the window
+  // between the consumer's empty pop() and its sleep, costing a stall of up
+  // to the full popWait timeout (the missed-wakeup defect found by the
+  // annotation pass; regression-tested in test_runtime).
+  void notifyWaiters() EXCLUDES(waitMtx_) {
+    { LockGuard lock(waitMtx_); }
+    waitCv_.notify_all();
+  }
 
  private:
-  std::mutex waitMtx_;
+  Mutex waitMtx_;
   std::condition_variable waitCv_;
 };
 
 template <typename T>
 class DepthPool final : public Workpool<T> {
  public:
-  void push(T task, int depth) override {
+  void push(T task, int depth) override EXCLUDES(mtx_) {
     {
-      std::lock_guard lock(mtx_);
+      LockGuard lock(mtx_);
       buckets_[depth].push_back(std::move(task));
       ++count_;
     }
@@ -216,8 +233,8 @@ class DepthPool final : public Workpool<T> {
   }
 
   // Local pop: front of the shallowest bucket (heuristic-best first).
-  std::optional<T> pop() override {
-    std::lock_guard lock(mtx_);
+  std::optional<T> pop() override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     for (auto it = buckets_.begin(); it != buckets_.end();) {
       if (it->second.empty()) {
         it = buckets_.erase(it);
@@ -231,18 +248,19 @@ class DepthPool final : public Workpool<T> {
     return std::nullopt;
   }
 
-  std::vector<T> stealMany(std::size_t k) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealMany(std::size_t k) override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(k);
   }
 
-  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override
+      EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(policy.chunkFor(count_));
   }
 
-  std::size_t size() const override {
-    std::lock_guard lock(mtx_);
+  std::size_t size() const override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return count_;
   }
 
@@ -252,7 +270,7 @@ class DepthPool final : public Workpool<T> {
   // best front stays local. A chunk keeps its relative FIFO order; when the
   // shallowest bucket cannot fill it, the remainder comes from the next
   // deeper bucket.
-  std::vector<T> stealLocked(std::size_t k) {
+  std::vector<T> stealLocked(std::size_t k) REQUIRES(mtx_) {
     std::vector<T> out;
     for (auto it = buckets_.begin();
          it != buckets_.end() && out.size() < k;) {
@@ -273,9 +291,10 @@ class DepthPool final : public Workpool<T> {
     return out;
   }
 
-  mutable std::mutex mtx_;
-  std::map<int, std::deque<T>> buckets_;  // ordered by depth, shallow first
-  std::size_t count_ = 0;
+  mutable Mutex mtx_;
+  // Ordered by depth, shallow first.
+  std::map<int, std::deque<T>> buckets_ GUARDED_BY(mtx_);
+  std::size_t count_ GUARDED_BY(mtx_) = 0;
 };
 
 template <typename T>
@@ -283,16 +302,16 @@ class DequePool final : public Workpool<T> {
  public:
   explicit DequePool(bool lifoLocal) : lifoLocal_(lifoLocal) {}
 
-  void push(T task, int /*depth*/) override {
+  void push(T task, int /*depth*/) override EXCLUDES(mtx_) {
     {
-      std::lock_guard lock(mtx_);
+      LockGuard lock(mtx_);
       q_.push_back(std::move(task));
     }
     this->notifyWaiters();
   }
 
-  std::optional<T> pop() override {
-    std::lock_guard lock(mtx_);
+  std::optional<T> pop() override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     if (q_.empty()) return std::nullopt;
     T t;
     if (lifoLocal_) {
@@ -305,24 +324,25 @@ class DequePool final : public Workpool<T> {
     return t;
   }
 
-  std::vector<T> stealMany(std::size_t k) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealMany(std::size_t k) override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(k);
   }
 
-  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override
+      EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(policy.chunkFor(q_.size()));
   }
 
-  std::size_t size() const override {
-    std::lock_guard lock(mtx_);
+  std::size_t size() const override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return q_.size();
   }
 
  private:
   // Steal under mtx_: the oldest tasks (closest to the root), oldest first.
-  std::vector<T> stealLocked(std::size_t k) {
+  std::vector<T> stealLocked(std::size_t k) REQUIRES(mtx_) {
     std::vector<T> out;
     const std::size_t take = std::min(k, q_.size());
     out.reserve(take);
@@ -333,8 +353,8 @@ class DequePool final : public Workpool<T> {
     return out;
   }
 
-  mutable std::mutex mtx_;
-  std::deque<T> q_;
+  mutable Mutex mtx_;
+  std::deque<T> q_ GUARDED_BY(mtx_);
   bool lifoLocal_;
 };
 
@@ -351,40 +371,41 @@ template <typename T>
   requires requires(T t) { t.seq; }
 class PriorityPool final : public Workpool<T> {
  public:
-  void push(T task, int /*depth*/) override {
+  void push(T task, int /*depth*/) override EXCLUDES(mtx_) {
     {
-      std::lock_guard lock(mtx_);
+      LockGuard lock(mtx_);
       heap_.push_back(std::move(task));
       std::push_heap(heap_.begin(), heap_.end(), cmp);
     }
     this->notifyWaiters();
   }
 
-  std::optional<T> pop() override {
-    std::lock_guard lock(mtx_);
+  std::optional<T> pop() override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     if (heap_.empty()) return std::nullopt;
     return takeTop();
   }
 
-  std::vector<T> stealMany(std::size_t k) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealMany(std::size_t k) override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(k);
   }
 
-  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
-    std::lock_guard lock(mtx_);
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override
+      EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return stealLocked(policy.chunkFor(heap_.size()));
   }
 
-  std::size_t size() const override {
-    std::lock_guard lock(mtx_);
+  std::size_t size() const override EXCLUDES(mtx_) {
+    LockGuard lock(mtx_);
     return heap_.size();
   }
 
  private:
   static bool cmp(const T& a, const T& b) { return a.seq > b.seq; }
 
-  std::vector<T> stealLocked(std::size_t k) {
+  std::vector<T> stealLocked(std::size_t k) REQUIRES(mtx_) {
     std::vector<T> out;
     const std::size_t take = std::min(k, heap_.size());
     out.reserve(take);
@@ -395,15 +416,15 @@ class PriorityPool final : public Workpool<T> {
   }
 
   // Caller holds mtx_ and guarantees the heap is non-empty.
-  T takeTop() {
+  T takeTop() REQUIRES(mtx_) {
     std::pop_heap(heap_.begin(), heap_.end(), cmp);
     T t = std::move(heap_.back());
     heap_.pop_back();
     return t;
   }
 
-  mutable std::mutex mtx_;
-  std::vector<T> heap_;
+  mutable Mutex mtx_;
+  std::vector<T> heap_ GUARDED_BY(mtx_);
 };
 
 template <typename T>

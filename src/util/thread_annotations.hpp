@@ -1,0 +1,157 @@
+#pragma once
+
+// Clang Thread Safety Analysis support: attribute macros plus annotated
+// lockable wrappers used across the runtime.
+//
+// The analysis (-Wthread-safety) proves lock discipline at compile time:
+// every field annotated GUARDED_BY(m) may only be read or written while `m`
+// is held, functions annotated REQUIRES(m) may only be called with `m` held,
+// and scoped guards (LockGuard/UniqueLock) tell the analysis where a mutex
+// is acquired and released. Unlike the TSan lane, which only sees the
+// interleavings a given run happens to execute, these checks cover every
+// path of every annotated function on every build - see the "Lock hierarchy
+// & guarded-state map" section of docs/ARCHITECTURE.md for which mutex
+// guards what.
+//
+// On compilers without the attributes (gcc) every macro expands to nothing
+// and the wrappers compile down to the std types they hold; there is no
+// runtime overhead on any compiler.
+//
+// Usage rules for runtime code:
+//   * declare mutexes as rt::Mutex, never raw std::mutex;
+//   * annotate every field shared between threads as either std::atomic or
+//     GUARDED_BY(its mutex);
+//   * lock with rt::LockGuard / rt::UniqueLock (UniqueLock exposes
+//     native() for std::condition_variable waits);
+//   * private helpers that expect the caller to hold a lock are annotated
+//     REQUIRES(mutex) instead of re-locking;
+//   * condition-variable predicates are written as explicit while-loops,
+//     not lambdas - the analysis treats a lambda as a separate unannotated
+//     function, so guarded reads inside one would be either unchecked or
+//     false positives.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define YEWPAR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef YEWPAR_THREAD_ANNOTATION
+#define YEWPAR_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// A type that acts as a lock (rt::Mutex below).
+#define CAPABILITY(x) YEWPAR_THREAD_ANNOTATION(capability(x))
+
+// A RAII type whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY YEWPAR_THREAD_ANNOTATION(scoped_lockable)
+
+// Field may only be accessed while holding the named mutex.
+#define GUARDED_BY(x) YEWPAR_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the pointee (not the pointer) is guarded.
+#define PT_GUARDED_BY(x) YEWPAR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-order declarations (checked under -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  YEWPAR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  YEWPAR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Caller must hold the mutex(es) when calling this function.
+#define REQUIRES(...) \
+  YEWPAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  YEWPAR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the mutex(es); empty argument list means
+// *this (for methods of a CAPABILITY class).
+#define ACQUIRE(...) \
+  YEWPAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  YEWPAR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  YEWPAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  YEWPAR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function attempts to acquire; the first argument is the return value that
+// means success.
+#define TRY_ACQUIRE(...) \
+  YEWPAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT already hold the mutex(es): documents (and, where the
+// analysis can see the caller's locks, checks) non-reentrancy, the guard
+// against self-deadlock and against holding a lock across a callback.
+#define EXCLUDES(...) YEWPAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatches.
+#define ASSERT_CAPABILITY(x) \
+  YEWPAR_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) YEWPAR_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  YEWPAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace yewpar::rt {
+
+// std::mutex with the capability annotation: the analysis tracks which
+// GUARDED_BY fields each critical section may touch. native() exists for
+// std::condition_variable interop via UniqueLock; never lock through it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// std::lock_guard over rt::Mutex.
+class SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+// std::unique_lock over rt::Mutex, exposing the underlying
+// std::unique_lock<std::mutex> for condition-variable waits:
+//
+//   rt::UniqueLock lock(mtx_);
+//   while (!ready_) cv_.wait(lock.native());
+//
+// The analysis treats the mutex as held across the wait; at runtime the
+// wait releases and reacquires it, so the guarded predicate must be
+// re-evaluated after every wake (hence the explicit while-loop).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) ACQUIRE(m) : lk_(m.native()) {}
+  ~UniqueLock() RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() { lk_.lock(); }
+  void unlock() RELEASE() { lk_.unlock(); }
+  bool owns_lock() const { return lk_.owns_lock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace yewpar::rt

@@ -288,6 +288,6 @@ TEST_P(CmstSkeletons, DecisionStopsEarlyOnAchievableTarget) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, CmstSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

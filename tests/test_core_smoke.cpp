@@ -178,6 +178,6 @@ TEST_P(StopSemantics, MaxNodesCapSetsTruncated) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, StopSemantics,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

@@ -93,8 +93,8 @@ TEST_P(FullConfigSweep, UtsCountInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FullConfigSweep,
                          ::testing::ValuesIn(allConfigs()),
-                         [](const auto& info) {
-                           return configName(info.param);
+                         [](const auto& paramInfo) {
+                           return configName(paramInfo.param);
                          });
 
 TEST(KnowledgeDelay, StaleBoundsNeverChangeTheOptimum) {

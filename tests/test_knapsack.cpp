@@ -103,6 +103,6 @@ TEST_P(KnapsackSkeletons, TwoLocalitiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, KnapsackSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

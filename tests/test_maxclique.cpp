@@ -186,8 +186,8 @@ TEST_P(MaxCliqueSkeletons, KCliqueDecision) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, MaxCliqueSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });
 
 TEST(MaxClique, NodeSerializationRoundTrip) {

@@ -167,6 +167,6 @@ TEST_P(ModelVsSkeletons, DecisionMatchesSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, ModelVsSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

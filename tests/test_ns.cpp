@@ -93,6 +93,6 @@ TEST_P(NsSkeletons, TwoLocalitiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, NsSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

@@ -8,6 +8,7 @@
 
 #include "runtime/channel.hpp"
 #include "runtime/locality.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/network.hpp"
 #include "runtime/steal_slot.hpp"
 #include "runtime/termination.hpp"
@@ -584,4 +585,97 @@ TEST(Termination, NoFalsePositiveWhileTasksFlow) {
   EXPECT_TRUE(term.finished());
   term.stop();
   loc.stop();
+}
+
+TEST(Channel, MpmcStressLosesNothing) {
+  // Many producers and many blocking consumers on one channel (the CI TSan
+  // lane runs this suite): every pushed value must be popped exactly once,
+  // whether the consumer was already waiting or raced the push.
+  Channel<int> chan;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 3000;
+  constexpr int kTotal = kProducers * kPerProducer;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        chan.push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kTotal) {
+        if (auto v = chan.popWait(1ms)) {
+          consumed.fetch_add(1);
+          sum.fetch_add(*v);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kTotal) * (kTotal - 1) / 2);
+  EXPECT_FALSE(chan.tryPop().has_value());
+}
+
+TEST(Metrics, ContendedCountersGatherExactly) {
+  // Per-locality Metrics hammered from several threads, then gathered the
+  // way the engine does it: snapshot each instance and fold the snapshots
+  // with operator+=. Relaxed atomics must still sum exactly once the
+  // counting threads have joined.
+  constexpr int kLocalities = 3;
+  constexpr int kThreadsPerLocality = 4;
+  constexpr int kBumps = 10000;
+  Metrics metrics[kLocalities];
+  std::vector<std::thread> threads;
+  for (int l = 0; l < kLocalities; ++l) {
+    for (int t = 0; t < kThreadsPerLocality; ++t) {
+      threads.emplace_back([&, l] {
+        for (int i = 0; i < kBumps; ++i) {
+          metrics[l].nodesProcessed.fetch_add(1, std::memory_order_relaxed);
+          metrics[l].tasksSpawned.fetch_add(1, std::memory_order_relaxed);
+          if (i % 2 == 0) {
+            metrics[l].localSteals.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+  MetricsSnapshot total;
+  for (const auto& m : metrics) total += m.snapshot();
+  constexpr std::uint64_t kExpected =
+      static_cast<std::uint64_t>(kLocalities) * kThreadsPerLocality * kBumps;
+  EXPECT_EQ(total.nodesProcessed, kExpected);
+  EXPECT_EQ(total.tasksSpawned, kExpected);
+  EXPECT_EQ(total.localSteals, kExpected / 2);
+  EXPECT_EQ(total.tasksStolen(), kExpected / 2);
+}
+
+TEST(Workpool, PushWakeupIsNeverMissed) {
+  // Regression: notifyWaiters() used to notify without ever holding
+  // waitMtx_, so a notify landing between a consumer's empty pop() and its
+  // cv sleep was lost and the consumer idled for its whole popWait timeout.
+  // Each round would then take the full 2s instead of ~1ms; the elapsed
+  // bound fails loudly on any reintroduction.
+  DepthPool<int> pool;
+  constexpr int kRounds = 50;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    std::thread producer([&] {
+      std::this_thread::sleep_for(500us);
+      pool.push(round, 0);
+    });
+    auto got = pool.popWait(2s);
+    producer.join();
+    ASSERT_TRUE(got.has_value()) << "round " << round;
+    EXPECT_EQ(*got, round);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(2) * kRounds / 4)
+      << "popWait consumers are sleeping through pushes";
 }

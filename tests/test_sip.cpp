@@ -121,6 +121,6 @@ TEST_P(SipSkeletons, TwoLocalitiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, SipSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });

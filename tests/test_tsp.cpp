@@ -108,8 +108,8 @@ TEST_P(TspSkeletons, TwoLocalitiesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, TspSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });
 
 TEST(Tsplib, ParsesEuc2d) {

@@ -136,6 +136,6 @@ TEST_P(UtsSkeletons, DepthHistogramSumsToTotal) {
 
 INSTANTIATE_TEST_SUITE_P(AllSkeletons, UtsSkeletons,
                          ::testing::ValuesIn(kAllSkels),
-                         [](const auto& info) {
-                           return skelName(info.param);
+                         [](const auto& paramInfo) {
+                           return skelName(paramInfo.param);
                          });
