@@ -1,8 +1,9 @@
 #pragma once
 
 // Shared benchmark infrastructure: the seeded instance families standing in
-// for the paper's DIMACS / finite-geometry instances (DESIGN.md
-// substitution 3), skeleton dispatch, and timing helpers.
+// for the paper's DIMACS / finite-geometry instances (no instance files ship
+// with the repo; generators are seeded for reproducibility), skeleton
+// dispatch, and timing helpers.
 //
 // Scale note: the paper's evaluation machines are a 17-node cluster; this
 // repo runs on whatever the build host offers (possibly one core), so the

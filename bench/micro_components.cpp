@@ -1,13 +1,20 @@
 // Component micro-benchmarks (google-benchmark): the low-level costs that
 // Section 5.3 attributes the skeleton overheads to - node copies in the
 // Lazy Node Generator, the greedy colour bound, workpool and channel
-// operations, and task serialization.
+// operations, and task serialization - plus the trace-record hot path and
+// its overhead gate: main() exits non-zero if the DISABLED per-event cost
+// regresses above a few ns, enforcing the contract in
+// docs/ARCHITECTURE.md "Observability".
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 #include "apps/maxclique/graph.hpp"
 #include "apps/maxclique/maxclique.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/transport/wire.hpp"
 #include "runtime/workpool.hpp"
 #include "util/archive.hpp"
@@ -132,6 +139,72 @@ void BM_HardenedArchiveParse(benchmark::State& state) {
 }
 BENCHMARK(BM_HardenedArchiveParse);
 
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  // The cost every instrumented call site pays on an untraced run: one
+  // relaxed atomic load and a branch. No session is armed here.
+  for (auto _ : state) {
+    rt::trace::record(rt::trace::Ev::kPoolPush, 0, 1, 2);
+  }
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  // The armed hot path: timestamp + 32-byte append into the thread-local
+  // ring. Once the ring fills, iterations measure the (cheaper) drop path;
+  // the capacity keeps that from dominating a default run.
+  rt::trace::session().begin(/*capacityPerThread=*/std::size_t{1} << 22);
+  for (auto _ : state) {
+    rt::trace::record(rt::trace::Ev::kPoolPush, 0, 1, 2);
+  }
+  rt::trace::session().end();
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+// The regression gate behind the "zero overhead when disabled" claim: the
+// minimum over kReps timed batches bounds scheduler noise from above, and
+// the threshold is generous enough for an emulated CI host yet far below
+// any accidental mutex/allocation on the path.
+bool checkTraceDisabledOverhead() {
+  constexpr int kReps = 10;
+  constexpr std::uint64_t kEvents = 1'000'000;
+  constexpr double kMaxNanosPerEvent = 5.0;
+  if (rt::trace::enabled()) {
+    std::fprintf(stderr,
+                 "trace gate: a session is still armed; cannot measure the "
+                 "disabled path\n");
+    return false;
+  }
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      rt::trace::record(rt::trace::Ev::kPoolPush, 0, i, i);
+    }
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    const double per = static_cast<double>(dt) / static_cast<double>(kEvents);
+    if (per < best) best = per;
+  }
+  std::printf("trace gate: disabled-path record() = %.3f ns/event "
+              "(threshold %.1f)\n",
+              best, kMaxNanosPerEvent);
+  if (best > kMaxNanosPerEvent) {
+    std::fprintf(stderr,
+                 "trace gate FAILED: disabled-path record() costs %.3f "
+                 "ns/event, above the %.1f ns contract\n",
+                 best, kMaxNanosPerEvent);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return checkTraceDisabledOverhead() ? 0 : 1;
+}

@@ -6,8 +6,9 @@
 //   (b) hand-coded OpenMP (15 workers) vs Depth-Bounded YewPar (15 workers)
 //       -> geometric mean parallel slowdown 16.6% on instances > 1.5s
 //
-// This repo: the same experiment on seeded instance families (DESIGN.md
-// substitution 3) and as many workers as the host sensibly supports. The
+// This repo: the same experiment on seeded instance families (stand-ins for
+// DIMACS; see bench/common.hpp) and as many workers as the host sensibly
+// supports. The
 // hand-written baselines are in src/apps/baselines (no skeleton code).
 
 #include <cstdio>

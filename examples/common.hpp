@@ -110,6 +110,14 @@ inline Params paramsFromFlags(const Flags& f) {
                                   " (expected sim|tcp)");
     }
   }
+  // Observability (docs/ARCHITECTURE.md "Observability"): --trace FILE arms
+  // event tracing and writes a Chrome trace_event JSON (under tcp, rank 0
+  // writes the single merged, clock-aligned file); --sample-interval-ms N
+  // runs the periodic telemetry sampler; --sample-csv FILE names its output
+  // (default telemetry.csv; non-zero tcp ranks append ".rank<r>").
+  p.traceFile = f.getString("trace", "");
+  p.sampleIntervalMs = f.getUint64("sample-interval-ms", 0);
+  p.sampleCsv = f.getString("sample-csv", "");
   return p;
 }
 
@@ -166,25 +174,38 @@ void printMetrics(const Out& out) {
               static_cast<unsigned long long>(out.metrics.localSteals),
               static_cast<unsigned long long>(out.metrics.remoteSteals),
               static_cast<unsigned long long>(out.metrics.failedSteals));
-  std::printf("chunking:  %llu steal replies, %.2f tasks/steal\n",
-              static_cast<unsigned long long>(out.metrics.stealReplies),
-              out.metrics.tasksPerSteal());
-  std::printf("network:   %llu msgs / %llu payload bytes / %llu frames "
-              "(%llu batched, %llu immediate)\n",
-              static_cast<unsigned long long>(out.metrics.networkMessages),
-              static_cast<unsigned long long>(out.metrics.networkBytes),
-              static_cast<unsigned long long>(out.metrics.networkFrames),
-              static_cast<unsigned long long>(out.metrics.networkBatched),
-              static_cast<unsigned long long>(out.metrics.networkImmediate));
-  std::printf("links:     queue high-water %llu, %llu spilled "
-              "(back-pressure), sim latency p50/p99 <= %llu/%llu us\n",
-              static_cast<unsigned long long>(
-                  out.metrics.linkQueueHighWater),
-              static_cast<unsigned long long>(out.metrics.networkSpills),
-              static_cast<unsigned long long>(
-                  out.metrics.netLatencyQuantileMicros(0.50)),
-              static_cast<unsigned long long>(
-                  out.metrics.netLatencyQuantileMicros(0.99)));
+  if (out.metrics.stealReplies == 0) {
+    // tasksPerSteal() would divide by zero replies; the guarded value is 0
+    // but "0 tasks/steal" misreads as "steals were empty", so say nothing.
+    std::printf("chunking:  0 steal replies\n");
+  } else {
+    std::printf("chunking:  %llu steal replies, %.2f tasks/steal\n",
+                static_cast<unsigned long long>(out.metrics.stealReplies),
+                out.metrics.tasksPerSteal());
+  }
+  // A sequential or single-locality run never touches the network; skip the
+  // all-zero lines rather than print misleading "0 msgs" fabric stats.
+  const bool usedNetwork =
+      out.metrics.networkMessages != 0 || out.metrics.networkFrames != 0 ||
+      out.metrics.networkSpills != 0 || out.metrics.linkQueueHighWater != 0;
+  if (usedNetwork) {
+    std::printf("network:   %llu msgs / %llu payload bytes / %llu frames "
+                "(%llu batched, %llu immediate)\n",
+                static_cast<unsigned long long>(out.metrics.networkMessages),
+                static_cast<unsigned long long>(out.metrics.networkBytes),
+                static_cast<unsigned long long>(out.metrics.networkFrames),
+                static_cast<unsigned long long>(out.metrics.networkBatched),
+                static_cast<unsigned long long>(out.metrics.networkImmediate));
+    std::printf("links:     queue high-water %llu, %llu spilled "
+                "(back-pressure), sim latency p50/p99 <= %llu/%llu us\n",
+                static_cast<unsigned long long>(
+                    out.metrics.linkQueueHighWater),
+                static_cast<unsigned long long>(out.metrics.networkSpills),
+                static_cast<unsigned long long>(
+                    out.metrics.netLatencyQuantileMicros(0.50)),
+                static_cast<unsigned long long>(
+                    out.metrics.netLatencyQuantileMicros(0.99)));
+  }
   std::printf("bounds:    %llu broadcast / %llu applied\n",
               static_cast<unsigned long long>(out.metrics.boundBroadcasts),
               static_cast<unsigned long long>(

@@ -6,7 +6,7 @@
 // each child's state derives from (parent state, child index). The original
 // uses SHA-1; we substitute a splitmix64 hash chain, which keeps the key
 // reproducibility property (tree shape independent of traversal order and
-// worker count) - see DESIGN.md substitution notes.
+// worker count) without pulling in a crypto dependency.
 
 #include <cstdint>
 

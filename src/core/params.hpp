@@ -111,6 +111,19 @@ struct Params {
 
   // Print coordination metrics on completion (benches enable this).
   bool verbose = false;
+
+  // Observability (--trace, --sample-interval-ms, --sample-csv; see
+  // docs/ARCHITECTURE.md "Observability"). Empty traceFile = tracing
+  // disarmed, whose per-event cost is one relaxed atomic load. Under Tcp
+  // every rank records; rank 0 writes the single merged, clock-aligned
+  // Chrome trace_event JSON. sampleIntervalMs 0 = no telemetry sampler.
+  std::string traceFile;
+  std::uint64_t sampleIntervalMs = 0;
+  std::string sampleCsv;
+
+  std::string effectiveSampleCsv() const {
+    return sampleCsv.empty() ? std::string("telemetry.csv") : sampleCsv;
+  }
 };
 
 }  // namespace yewpar

@@ -10,7 +10,7 @@
 //
 // Distributed-memory discipline: a locality touches another locality's state
 // only through serialized messages (tasks, bounds, steals, termination
-// snapshots) - see DESIGN.md substitution 1.
+// snapshots) - see docs/ARCHITECTURE.md "Message lifecycle".
 
 #include <chrono>
 #include <memory>
@@ -25,6 +25,7 @@
 #include "runtime/locality.hpp"
 #include "runtime/network.hpp"
 #include "runtime/steal_slot.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/transport/tcp.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/worker_team.hpp"
@@ -113,6 +114,11 @@ class EngineCtx {
     term_.taskCreated();
     int depth = task.depth;
     pool_->push(std::move(task), depth);
+    // pool_->size() takes the pool lock; only pay for it when tracing.
+    if (rt::trace::enabled()) {
+      rt::trace::record(rt::trace::Ev::kPoolPush, id(),
+                        static_cast<std::uint64_t>(depth), pool_->size());
+    }
   }
 
   // ---- knowledge -----------------------------------------------------
@@ -122,6 +128,8 @@ class EngineCtx {
       locality_.broadcast(rt::tag::kBoundUpdate, toBytes(b));
     }
     reg_.metrics.boundBroadcasts.fetch_add(1, std::memory_order_relaxed);
+    rt::trace::record(rt::trace::Ev::kBoundBroadcast, id(),
+                      static_cast<std::uint64_t>(b));
   }
 
   // Raise the global stop flag (decision short-circuit / node cap).
@@ -135,7 +143,11 @@ class EngineCtx {
 
   // Prune counting lives with the worker-local counters in the callers.
   void applyVisit(const VisitResult& res) {
-    if (res.broadcastBound) broadcastBound(*res.broadcastBound);
+    if (res.broadcastBound) {
+      rt::trace::record(rt::trace::Ev::kIncumbent, id(),
+                        static_cast<std::uint64_t>(*res.broadcastBound));
+      broadcastBound(*res.broadcastBound);
+    }
     if (res.action == Action::Stop) raiseStop();
   }
 
@@ -197,8 +209,11 @@ class EngineCtx {
     if (params_.nLocalities < 2) return;
     auto token = stealSlot_.tryAcquire();
     if (!token) return;
-    locality_.send(randomPeer(rng), rt::tag::kPoolStealRequest,
-                   toBytes(*token));
+    const int victim = randomPeer(rng);
+    rt::trace::record(rt::trace::Ev::kStealRequest, id(),
+                      static_cast<std::uint64_t>(victim),
+                      static_cast<std::uint64_t>(*token));
+    locality_.send(victim, rt::tag::kPoolStealRequest, toBytes(*token));
   }
 
   // Ask a random remote locality for a stack steal (Stack-Stealing idle path
@@ -207,8 +222,11 @@ class EngineCtx {
     if (params_.nLocalities < 2) return;
     auto token = stealSlot_.tryAcquire();
     if (!token) return;
-    locality_.send(randomPeer(rng), rt::tag::kStackStealRequest,
-                   toBytes(*token));
+    const int victim = randomPeer(rng);
+    rt::trace::record(rt::trace::Ev::kStealRequest, id(),
+                      static_cast<std::uint64_t>(victim),
+                      static_cast<std::uint64_t>(*token));
+    locality_.send(victim, rt::tag::kStackStealRequest, toBytes(*token));
   }
 
   // Remote steal requests waiting to be answered by one of this locality's
@@ -230,6 +248,9 @@ class EngineCtx {
     if (!tasks.empty()) {
       term_.taskCreated(tasks.size());
     }
+    rt::trace::record(rt::trace::Ev::kStealAnswer, id(),
+                      static_cast<std::uint64_t>(req.origin),
+                      static_cast<std::uint64_t>(req.token));
     locality_.send(req.origin, rt::tag::kStackStealReply,
                    toBytes(StealReply{req.token, std::move(tasks)}));
   }
@@ -245,18 +266,28 @@ class EngineCtx {
   // reply's token no longer matches, so it cannot free the slot while the
   // renewed request is outstanding.
   void onStealReply(rt::Message&& m) {
+    const int victim = m.src;
     auto reply = fromBytes<StealReply>(std::move(m.payload));
     stealSlot_.release(reply.token);
     if (reply.tasks.empty()) {
       reg_.metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+      rt::trace::record(rt::trace::Ev::kStealFail, id(),
+                        static_cast<std::uint64_t>(victim),
+                        static_cast<std::uint64_t>(reply.token));
       return;
     }
     reg_.metrics.remoteSteals.fetch_add(reply.tasks.size(),
                                         std::memory_order_relaxed);
     reg_.metrics.stealReplies.fetch_add(1, std::memory_order_relaxed);
+    rt::trace::record(rt::trace::Ev::kStealReply, id(), reply.tasks.size(),
+                      static_cast<std::uint64_t>(reply.token));
     for (auto& t : reply.tasks) {
       int depth = t.depth;
       pool_->push(std::move(t), depth);
+      if (rt::trace::enabled()) {
+        rt::trace::record(rt::trace::Ev::kPoolPush, id(),
+                          static_cast<std::uint64_t>(depth), pool_->size());
+      }
     }
   }
 
@@ -267,6 +298,8 @@ class EngineCtx {
       if (atomicMax(reg_.localBound, b)) {
         reg_.metrics.boundUpdatesApplied.fetch_add(1,
                                                    std::memory_order_relaxed);
+        rt::trace::record(rt::trace::Ev::kBoundApply, id(),
+                          static_cast<std::uint64_t>(b));
       }
     });
 
@@ -283,6 +316,9 @@ class EngineCtx {
           auto token = fromBytes<std::int64_t>(std::move(m.payload));
           StealReply reply{token,
                            pool_->stealChunk(params_.effectiveChunk())};
+          rt::trace::record(rt::trace::Ev::kStealAnswer, id(),
+                            static_cast<std::uint64_t>(m.src),
+                            static_cast<std::uint64_t>(token));
           locality_.send(m.src, rt::tag::kPoolStealReply, toBytes(reply));
         });
 
@@ -303,6 +339,10 @@ class EngineCtx {
             pendingRemoteCount_.fetch_add(1, std::memory_order_relaxed);
             pendingRemoteSteals_.push(PendingSteal{m.src, token});
           } else {
+            // Immediate NACK: no busy worker to split a stack.
+            rt::trace::record(rt::trace::Ev::kStealAnswer, id(),
+                              static_cast<std::uint64_t>(m.src),
+                              static_cast<std::uint64_t>(token));
             locality_.send(m.src, rt::tag::kStackStealReply,
                            toBytes(StealReply{token, {}}));
           }
@@ -356,6 +396,10 @@ struct Engine {
     Timer timer;
     auto spaceBytes = toBytes(space);
 
+    // Armed before the transport and localities exist so every thread they
+    // spawn registers its trace buffer inside this session.
+    rt::trace::SessionScope traceScope(!params.traceFile.empty());
+
     rt::InProcTransport net(params.nLocalities, params.effectiveNet());
     std::vector<std::unique_ptr<Ctx>> locs;
     locs.reserve(static_cast<std::size_t>(params.nLocalities));
@@ -371,6 +415,20 @@ struct Engine {
     locs[0]->pool().push(Task{root, 0}, 0);
     locs[0]->term().startLeader();
 
+    rt::trace::Sampler sampler;
+    if (params.sampleIntervalMs > 0) {
+      sampler.start(std::chrono::milliseconds(params.sampleIntervalMs),
+                    [&locs, &net] {
+                      std::vector<rt::trace::Sample> rows;
+                      rows.reserve(locs.size());
+                      const auto t = rt::trace::nowNanos();
+                      for (auto& l : locs) {
+                        rows.push_back(sampleLocality(t, l->id(), *l, net));
+                      }
+                      return rows;
+                    });
+    }
+
     {
       std::vector<std::unique_ptr<rt::WorkerTeam>> teams;
       teams.reserve(locs.size());
@@ -383,12 +441,23 @@ struct Engine {
       // Teams join in ~WorkerTeam once every locality's detector fired.
     }
 
+    sampler.stop();  // takes the final sample; workers have quiesced
     for (auto& l : locs) l->term().stop();
     for (auto& l : locs) l->locality().stop();
 
     // Frame out anything still buffered so the batching accounting is
     // exact: batched + immediate == messages in the gathered metrics.
     net.flushAll();
+
+    if (params.sampleIntervalMs > 0) {
+      rt::trace::Sampler::writeCsv(params.effectiveSampleCsv(),
+                                   sampler.takeRows());
+    }
+    if (!params.traceFile.empty()) {
+      // One process, one clock: a single batch, no offset to apply.
+      rt::trace::writeChromeJson(params.traceFile,
+                                 {rt::trace::session().collect(-1)});
+    }
 
     return gather(params, locs, timer.elapsedSeconds(), net);
   }
@@ -405,6 +474,12 @@ struct Engine {
     Params p = params;
     p.nLocalities = static_cast<int>(p.peers.size());
     const int world = p.nLocalities;
+
+    // Armed before the transport so its sender/receiver threads (spawned by
+    // the constructor) register their trace buffers inside the session.
+    // begin()/end() are refcounted, so in-process multi-rank runs (tests
+    // drive two ranks as threads) share one session.
+    rt::trace::SessionScope traceScope(!p.traceFile.empty());
 
     rt::TcpConfig tc;
     tc.rank = p.rank;
@@ -433,6 +508,20 @@ struct Engine {
           });
     }
 
+    // Each peer ships its trace batch right before its gather reply on the
+    // same FIFO link, so once every gather reply has arrived, so has every
+    // trace batch.
+    rt::Mutex traceMtx;
+    std::vector<rt::trace::Batch> traceBatches;
+    if (p.rank == 0 && world > 1 && !p.traceFile.empty()) {
+      ctx.locality().registerHandler(
+          rt::tag::kTraceData, [&](rt::Message&& m) {
+            auto b = fromBytes<rt::trace::Batch>(std::move(m.payload));
+            rt::LockGuard lock(traceMtx);
+            traceBatches.push_back(std::move(b));
+          });
+    }
+
     ctx.locality().start();
     if (p.rank == 0) {
       // Root task: count it before the leader starts polling, so the
@@ -443,12 +532,29 @@ struct Engine {
       ctx.term().startLeader();
     }
 
+    rt::trace::Sampler sampler;
+    if (p.sampleIntervalMs > 0) {
+      const int rank = p.rank;
+      sampler.start(std::chrono::milliseconds(p.sampleIntervalMs),
+                    [&ctx, &net, rank] {
+                      return std::vector<rt::trace::Sample>{sampleLocality(
+                          rt::trace::nowNanos(), rank, ctx, net)};
+                    });
+    }
+
     {
       rt::WorkerTeam team(p.workersPerLocality,
                           [&ctx](int w) { workerLoop(ctx, w); });
       // Joins once the termination broadcast lands on this rank.
     }
+    sampler.stop();  // takes the final sample; workers have quiesced
     ctx.term().stop();
+    if (p.sampleIntervalMs > 0) {
+      // One CSV per process: non-zero ranks suffix theirs with the rank.
+      std::string csv = p.effectiveSampleCsv();
+      if (p.rank != 0) csv += ".rank" + std::to_string(p.rank);
+      rt::trace::Sampler::writeCsv(csv, sampler.takeRows());
+    }
 
     Out out;
     if (p.rank == 0) {
@@ -472,7 +578,34 @@ struct Engine {
         }
       }
       out = mergeGather(p, ctx, gathered, timer.elapsedSeconds(), net);
+      if (!p.traceFile.empty()) {
+        // Every kTraceData preceded its rank's kGatherReply on the same
+        // FIFO link, so the batches are all here. Combine each peer's
+        // handshake half-estimate (shipped in clockDeltaNanos) with our own
+        // for that peer: the symmetric one-way delays cancel, leaving the
+        // offset that maps the peer's steady clock onto ours.
+        std::vector<rt::trace::Batch> batches;
+        {
+          rt::LockGuard lock(traceMtx);
+          batches = std::move(traceBatches);
+        }
+        for (auto& b : batches) {
+          b.clockDeltaNanos =
+              (b.clockDeltaNanos - net.handshakeClockDeltaNanos(b.rank)) / 2;
+        }
+        // In-process multi-rank runs share one registry: collect only this
+        // rank's events so the merged file has no duplicates.
+        batches.push_back(rt::trace::session().collect(0));
+        rt::trace::writeChromeJson(p.traceFile, batches);
+      }
     } else {
+      if (!p.traceFile.empty()) {
+        // Ship this rank's trace ahead of the gather reply on the same
+        // link; rank 0's manager processes them in order.
+        auto batch = rt::trace::session().collect(p.rank);
+        batch.clockDeltaNanos = net.handshakeClockDeltaNanos(0);
+        ctx.locality().send(0, rt::tag::kTraceData, toBytes(batch));
+      }
       // The manager (still running) keeps absorbing stray steal/termination
       // traffic while this reply travels.
       ctx.locality().send(0, rt::tag::kGatherReply,
@@ -492,8 +625,22 @@ struct Engine {
 
   static void workerLoop(Ctx& ctx, int w) {
     auto& ws = *ctx.workers()[static_cast<std::size_t>(w)];
+    rt::trace::nameThread("L" + std::to_string(ctx.id()) + ".w" +
+                          std::to_string(w));
+    std::uint64_t taskSeq = 0;
     while (!ctx.term().finished()) {
       if (auto task = ctx.pool().popWait(200us)) {
+        // The pop + span-open records are guarded as one: pool size is a
+        // locking query, and an un-opened span must not be closed below.
+        const bool traced = rt::trace::enabled();
+        if (traced) {
+          rt::trace::record(rt::trace::Ev::kPoolPop, ctx.id(),
+                            static_cast<std::uint64_t>(task->depth),
+                            ctx.pool().size());
+          rt::trace::record(rt::trace::Ev::kTaskRunBegin, ctx.id(),
+                            static_cast<std::uint64_t>(task->depth),
+                            taskSeq++);
+        }
         ws.busy.store(true, std::memory_order_release);
         ctx.busyWorkers().fetch_add(1, std::memory_order_acq_rel);
         if (!ctx.stopped()) {
@@ -501,12 +648,30 @@ struct Engine {
         }
         ctx.busyWorkers().fetch_sub(1, std::memory_order_acq_rel);
         ws.busy.store(false, std::memory_order_release);
+        if (traced) {
+          rt::trace::record(rt::trace::Ev::kTaskRunEnd, ctx.id());
+        }
         ctx.term().taskCompleted();
         continue;
       }
       Coordination::onIdle(ctx, ws);
     }
     Ops::mergeWorkerAcc(ctx.reg(), ws.acc);
+  }
+
+  // One telemetry row for one locality (runSim samples every locality per
+  // tick, runTcp its single rank).
+  static rt::trace::Sample sampleLocality(std::uint64_t tNanos, int rank,
+                                          Ctx& ctx,
+                                          const rt::Transport& net) {
+    rt::trace::Sample s;
+    s.tNanos = tNanos;
+    s.rank = rank;
+    s.poolDepth = ctx.pool().size();
+    s.netQueued = net.queuedMessagesNow();
+    s.netQueuedMaxLink = net.maxLinkQueueNow();
+    s.metrics = ctx.reg().metrics.snapshot();
+    return s;
   }
 
   // Copy a transport's counters into the network fields of a snapshot.

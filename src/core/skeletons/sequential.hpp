@@ -12,6 +12,7 @@
 #include "core/outcome.hpp"
 #include "core/params.hpp"
 #include "core/search_ops.hpp"
+#include "runtime/trace.hpp"
 #include "util/timer.hpp"
 
 namespace yewpar::skeletons {
@@ -28,6 +29,12 @@ struct Sequential {
   static Out search(const Params& params, const Space& space,
                     const Node& root) {
     Timer timer;
+    // One locality, one worker, one task: a single span covering the whole
+    // search, so sequential traces load in the same Perfetto view as the
+    // parallel ones.
+    rt::trace::SessionScope traceScope(!params.traceFile.empty());
+    rt::trace::nameThread("L0.seq");
+    rt::trace::record(rt::trace::Ev::kTaskRunBegin, 0, 0, 0);
     typename Ops::Reg reg;
     reg.decisionTarget = params.decisionTarget;
     reg.maxNodes = params.maxNodes;
@@ -78,6 +85,11 @@ struct Sequential {
     }
 
     Ops::mergeWorkerAcc(reg, acc);
+    rt::trace::record(rt::trace::Ev::kTaskRunEnd, 0);
+    if (!params.traceFile.empty()) {
+      rt::trace::writeChromeJson(params.traceFile,
+                                 {rt::trace::session().collect(-1)});
+    }
 
     Out out;
     out.elapsedSeconds = timer.elapsedSeconds();

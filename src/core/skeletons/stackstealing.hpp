@@ -46,15 +46,24 @@ struct Coord {
       auto& victim = *workers[static_cast<std::size_t>(v)];
       if (!victim.busy.load(std::memory_order_acquire)) continue;
       if (auto tasks = victim.stealChan.steal(500us)) {
+        rt::trace::record(rt::trace::Ev::kLocalSteal, ctx.id(),
+                          static_cast<std::uint64_t>(v), tasks->size());
         // Stolen tasks were counted created by the victim; queue them
         // locally - the workpool acts as the transit buffer of Section 3.6.
         for (auto& t : *tasks) {
           const int depth = t.depth;
           ctx.pool().push(std::move(t), depth);
+          if (rt::trace::enabled()) {
+            rt::trace::record(rt::trace::Ev::kPoolPush, ctx.id(),
+                              static_cast<std::uint64_t>(depth),
+                              ctx.pool().size());
+          }
         }
         return;
       }
       ctx.reg().metrics.failedSteals.fetch_add(1, std::memory_order_relaxed);
+      rt::trace::record(rt::trace::Ev::kLocalStealFail, ctx.id(),
+                        static_cast<std::uint64_t>(v));
       return;  // one attempt per idle round; back off via popWait
     }
 

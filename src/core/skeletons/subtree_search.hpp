@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/search_ops.hpp"
+#include "runtime/trace.hpp"
 
 namespace yewpar::detail {
 
@@ -72,6 +73,8 @@ void pollStealRequests(Ctx& ctx, WS& ws, std::vector<Gen>& genStack,
       } else {
         metrics.localSteals.fetch_add(n, std::memory_order_relaxed);
         metrics.stealReplies.fetch_add(1, std::memory_order_relaxed);
+        rt::trace::record(rt::trace::Ev::kLocalStealAnswer, ctx.id(),
+                          static_cast<std::uint64_t>(ws.id), n);
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "runtime/trace.hpp"
 #include "util/archive.hpp"
 
 namespace yewpar::rt {
@@ -29,6 +30,7 @@ Locality::Handler Locality::findHandler(int tagId) {
 
 void Locality::managerLoop() {
   using namespace std::chrono_literals;
+  trace::nameThread("L" + std::to_string(id_) + ".mgr");
   while (true) {
     auto msg = net_.recvWait(id_, 500us);
     if (!msg) continue;

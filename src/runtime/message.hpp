@@ -36,6 +36,7 @@ inline constexpr int kSpaceBroadcast = 15;   // replicate the search space
 inline constexpr int kGatherRequest = 20;    // collect per-locality results
 inline constexpr int kGatherReply = 21;
 inline constexpr int kStopSearch = 22;       // decision short-circuit
+inline constexpr int kTraceData = 23;        // trace batch: rank i -> rank 0
 inline constexpr int kUser = 100;            // first tag free for tests/apps
 }  // namespace tag
 

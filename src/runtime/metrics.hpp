@@ -3,7 +3,7 @@
 // Coordination metrics collected per locality and summed at gather time.
 // Besides wall-clock time these are the primary evidence the benchmark
 // harness reports (nodes searched measures speculative work; spawns/steals
-// measure coordination volume; see DESIGN.md substitution 2).
+// measure coordination volume; see docs/ARCHITECTURE.md "Observability").
 //
 // Concurrency discipline: Metrics is the mutex-free corner of the runtime -
 // every counter is a std::atomic bumped with relaxed ordering from worker

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "runtime/trace.hpp"
 #include "util/archive.hpp"
 
 namespace yewpar::rt {
@@ -56,6 +57,7 @@ void TerminationDetector::stop() {
 
 void TerminationDetector::leaderLoop() {
   using namespace std::chrono_literals;
+  trace::nameThread("L0.term");
   std::uint64_t prevCreated = ~std::uint64_t{0};
   std::uint64_t prevCompleted = ~std::uint64_t{0};
   int round = 0;
@@ -96,6 +98,9 @@ void TerminationDetector::leaderLoop() {
       prevCreated = ~std::uint64_t{0};
       continue;
     }
+    trace::record(trace::Ev::kTermProbe, loc_.id(),
+                  static_cast<std::uint64_t>(round),
+                  sumCreated - sumCompleted);
 
     if (sumCreated == sumCompleted && sumCreated > 0 &&
         sumCreated == prevCreated && sumCompleted == prevCompleted) {

@@ -1,0 +1,521 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace yewpar::rt::trace {
+
+namespace detail {
+
+std::atomic<bool> gEnabled{false};
+
+namespace {
+
+// One thread's append-only event buffer. The owning thread is the only
+// writer; `count` is published with release so a concurrent harvest reads a
+// consistent prefix. Slots below `count` are immutable once published.
+struct ThreadBuffer {
+  std::uint16_t tid = 0;
+  std::string name;  // guarded by the registry mutex (set once, rarely)
+  std::size_t capacity = 0;
+  std::unique_ptr<Event[]> slots;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+// Global buffer registry. The mutex is touched only at thread registration,
+// naming, and harvest - never on the per-event path.
+struct Registry {
+  Mutex mtx;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers GUARDED_BY(mtx);
+  std::size_t capacity GUARDED_BY(mtx) = Session::kDefaultCapacity;
+  int active GUARDED_BY(mtx) = 0;  // begin()/end() refcount
+  std::uint64_t sessionId GUARDED_BY(mtx) = 0;
+  // Mirror of sessionId for the lock-free fast path: a thread's cached
+  // buffer pointer is only valid for the session it registered in.
+  std::atomic<std::uint64_t> sessionIdAtomic{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local ThreadBuffer* tlsBuf = nullptr;
+thread_local std::uint64_t tlsSession = 0;
+
+// The calling thread's buffer for the current session, registering one on
+// first use. Returns nullptr when no session is active (a record that
+// slipped past the enabled() gate while end() was flipping it).
+ThreadBuffer* myBuffer() {
+  auto& reg = registry();
+  if (tlsBuf != nullptr &&
+      tlsSession == reg.sessionIdAtomic.load(std::memory_order_acquire)) {
+    return tlsBuf;
+  }
+  LockGuard lock(reg.mtx);
+  if (reg.active == 0) return nullptr;
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->tid = static_cast<std::uint16_t>(
+      std::min<std::size_t>(reg.buffers.size(), 0xFFFF));
+  buf->capacity = reg.capacity;
+  buf->slots = std::make_unique<Event[]>(reg.capacity);
+  tlsBuf = buf.get();
+  tlsSession = reg.sessionId;
+  reg.buffers.push_back(std::move(buf));
+  return tlsBuf;
+}
+
+}  // namespace
+
+void recordSlow(Ev kind, int rank, std::uint64_t a, std::uint64_t b) {
+  ThreadBuffer* buf = myBuffer();
+  if (buf == nullptr) return;
+  const auto idx = buf->count.load(std::memory_order_relaxed);
+  if (idx >= buf->capacity) {
+    // Overflow policy: drop the new event and account for it. Keeping the
+    // recorded prefix immutable is what makes concurrent harvest safe.
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& e = buf->slots[idx];
+  e.tsNanos = nowNanos();
+  e.kind = static_cast<std::uint16_t>(kind);
+  e.tid = buf->tid;
+  e.rank = rank;
+  e.a = a;
+  e.b = b;
+  buf->count.store(idx + 1, std::memory_order_release);
+}
+
+void nameThreadSlow(const std::string& name) {
+  ThreadBuffer* buf = myBuffer();
+  if (buf == nullptr) return;
+  auto& reg = registry();
+  LockGuard lock(reg.mtx);
+  buf->name = name;
+}
+
+}  // namespace detail
+
+void Session::begin(std::size_t capacityPerThread) {
+  auto& reg = detail::registry();
+  LockGuard lock(reg.mtx);
+  if (reg.active++ > 0) return;  // nested begin joins the armed session
+  // First begin of a new session: the previous session's recording threads
+  // are gone (the engine joins its teams and transports before end()), so
+  // the old buffers can be released and the thread slots restart at 0.
+  reg.buffers.clear();
+  reg.capacity = capacityPerThread == 0 ? 1 : capacityPerThread;
+  ++reg.sessionId;
+  reg.sessionIdAtomic.store(reg.sessionId, std::memory_order_release);
+  detail::gEnabled.store(true, std::memory_order_release);
+}
+
+void Session::end() {
+  auto& reg = detail::registry();
+  LockGuard lock(reg.mtx);
+  if (reg.active == 0) return;
+  if (--reg.active == 0) {
+    detail::gEnabled.store(false, std::memory_order_release);
+  }
+}
+
+Batch Session::collect(int rankFilter) {
+  Batch out;
+  out.rank = rankFilter < 0 ? 0 : rankFilter;
+  auto& reg = detail::registry();
+  LockGuard lock(reg.mtx);
+  for (const auto& buf : reg.buffers) {
+    const auto n =
+        std::min(buf->count.load(std::memory_order_acquire), buf->capacity);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buf->slots[i];
+      if (rankFilter >= 0 && e.rank != rankFilter) continue;
+      out.events.push_back(e);
+    }
+    out.dropped += buf->dropped.load(std::memory_order_relaxed);
+    if (!buf->name.empty()) {
+      out.threadNames.push_back({buf->tid, buf->name});
+    }
+  }
+  return out;
+}
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+// ---- Chrome trace_event JSON export --------------------------------------
+
+namespace {
+
+const char* evName(Ev k) {
+  switch (k) {
+    case Ev::kTaskRunBegin:
+    case Ev::kTaskRunEnd:
+      return "task";
+    case Ev::kPoolPush:
+      return "pool-push";
+    case Ev::kPoolPop:
+      return "pool-pop";
+    case Ev::kStealRequest:
+      return "steal-request";
+    case Ev::kStealReply:
+      return "steal-reply";
+    case Ev::kStealFail:
+      return "steal-fail";
+    case Ev::kStealAnswer:
+      return "steal-answer";
+    case Ev::kLocalSteal:
+      return "local-steal";
+    case Ev::kLocalStealFail:
+      return "local-steal-fail";
+    case Ev::kLocalStealAnswer:
+      return "local-steal-answer";
+    case Ev::kBoundBroadcast:
+      return "bound-broadcast";
+    case Ev::kBoundApply:
+      return "bound-apply";
+    case Ev::kIncumbent:
+      return "incumbent";
+    case Ev::kTermProbe:
+      return "term-probe";
+    case Ev::kFrameSend:
+      return "frame-send";
+    case Ev::kFrameRecv:
+      return "frame-recv";
+  }
+  return "event";
+}
+
+// Flow ids tie a steal's request/answer/reply instants into one arrow. The
+// request token (a steal-slot timestamp) is unique per thief locality; the
+// thief's rank in the top bits separates concurrent thieves.
+std::uint64_t stealFlowId(std::uint64_t thiefRank, std::uint64_t token) {
+  return ((thiefRank + 1) << 48) ^ (token & 0xFFFFFFFFFFFFull);
+}
+
+struct FilePtr {
+  std::FILE* f = nullptr;
+  ~FilePtr() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+void writeChromeJson(const std::string& path,
+                     const std::vector<Batch>& batches) {
+  FilePtr fp;
+  fp.f = std::fopen(path.c_str(), "w");
+  if (fp.f == nullptr) {
+    throw std::runtime_error("trace: cannot open '" + path +
+                             "' for writing");
+  }
+  std::FILE* f = fp.f;
+
+  // Offset-adjust and merge, then normalise to the earliest event so ts
+  // starts near zero (Perfetto renders absolute steady-clock nanos poorly).
+  struct Adj {
+    std::int64_t ts;  // nanos, offset-applied
+    const Batch* batch;
+    const Event* ev;
+  };
+  std::vector<Adj> all;
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.events.size();
+  all.reserve(total);
+  for (const auto& b : batches) {
+    for (const auto& e : b.events) {
+      all.push_back(
+          {static_cast<std::int64_t>(e.tsNanos) + b.clockDeltaNanos, &b, &e});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Adj& x, const Adj& y) { return x.ts < y.ts; });
+  const std::int64_t t0 = all.empty() ? 0 : all.front().ts;
+
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+  };
+
+  // Metadata: process names per rank, thread names per (rank, tid). A tid
+  // is attributed to the rank(s) it recorded events for.
+  std::vector<std::pair<std::int32_t, std::uint16_t>> namedTracks;
+  for (const auto& b : batches) {
+    std::vector<std::int32_t> ranksSeen;
+    for (const auto& e : b.events) {
+      if (std::find(ranksSeen.begin(), ranksSeen.end(), e.rank) ==
+          ranksSeen.end()) {
+        ranksSeen.push_back(e.rank);
+      }
+    }
+    std::sort(ranksSeen.begin(), ranksSeen.end());
+    for (const auto r : ranksSeen) {
+      sep();
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                   "\"args\":{\"name\":\"rank %d\"}}",
+                   r, r);
+    }
+    for (const auto& tn : b.threadNames) {
+      for (const auto& e : b.events) {
+        if (e.tid != tn.tid) continue;
+        const auto key = std::make_pair(e.rank, e.tid);
+        if (std::find(namedTracks.begin(), namedTracks.end(), key) !=
+            namedTracks.end()) {
+          break;
+        }
+        namedTracks.push_back(key);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                     "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                     e.rank, static_cast<unsigned>(e.tid), tn.name.c_str());
+        break;
+      }
+    }
+  }
+
+  for (const auto& adj : all) {
+    const Event& e = *adj.ev;
+    const double tsUs = static_cast<double>(adj.ts - t0) / 1000.0;
+    const auto kind = static_cast<Ev>(e.kind);
+    const int pid = e.rank;
+    const auto tid = static_cast<unsigned>(e.tid);
+    const char* name = evName(kind);
+    switch (kind) {
+      case Ev::kTaskRunBegin:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"B\",\"name\":\"%s\",\"cat\":\"task\","
+                     "\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"args\":{\"depth\":"
+                     "%" PRIu64 ",\"seq\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        break;
+      case Ev::kTaskRunEnd:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"E\",\"name\":\"%s\",\"cat\":\"task\","
+                     "\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                     name, pid, tid, tsUs);
+        break;
+      case Ev::kPoolPush:
+      case Ev::kPoolPop:
+        // The push/pop series renders as a per-rank pool-depth counter
+        // track: arg b is the pool size right after the operation.
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"C\",\"name\":\"pool depth\",\"pid\":%d,"
+                     "\"ts\":%.3f,\"args\":{\"depth\":%" PRIu64 "}}",
+                     pid, tsUs, e.b);
+        break;
+      case Ev::kStealRequest:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"steal\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"args\":"
+                     "{\"victim\":%" PRIu64 ",\"token\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"s\",\"name\":\"steal\",\"cat\":\"steal\","
+                     "\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                     stealFlowId(static_cast<std::uint64_t>(pid), e.b), pid,
+                     tid, tsUs);
+        break;
+      case Ev::kStealAnswer:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"steal\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"args\":"
+                     "{\"thief\":%" PRIu64 ",\"token\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"t\",\"name\":\"steal\",\"cat\":\"steal\","
+                     "\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                     stealFlowId(e.a, e.b), pid, tid, tsUs);
+        break;
+      case Ev::kStealReply:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"steal\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"args\":"
+                     "{\"tasks\":%" PRIu64 ",\"token\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"steal\",\"cat\":"
+                     "\"steal\",\"id\":%" PRIu64
+                     ",\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                     stealFlowId(static_cast<std::uint64_t>(pid), e.b), pid,
+                     tid, tsUs);
+        break;
+      case Ev::kStealFail:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"steal\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,\"args\":"
+                     "{\"victim\":%" PRIu64 ",\"token\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"steal\",\"cat\":"
+                     "\"steal\",\"id\":%" PRIu64
+                     ",\"pid\":%d,\"tid\":%u,\"ts\":%.3f}",
+                     stealFlowId(static_cast<std::uint64_t>(pid), e.b), pid,
+                     tid, tsUs);
+        break;
+      case Ev::kBoundBroadcast:
+      case Ev::kBoundApply:
+      case Ev::kIncumbent:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"knowledge\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"value\":%" PRId64 "}}",
+                     name, pid, tid, tsUs, static_cast<std::int64_t>(e.a));
+        break;
+      case Ev::kTermProbe:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"termination\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"round\":%" PRIu64 ",\"outstanding\":%" PRId64
+                     "}}",
+                     name, pid, tid, tsUs, e.a,
+                     static_cast<std::int64_t>(e.b));
+        break;
+      case Ev::kFrameSend:
+      case Ev::kFrameRecv:
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":"
+                     "\"transport\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"peer\":%" PRIu64 ",\"size\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        break;
+      default:
+        // Local steal events and anything future-added: generic instant.
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"pid\":%d,"
+                     "\"tid\":%u,\"ts\":%.3f,\"args\":{\"a\":%" PRIu64
+                     ",\"b\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a, e.b);
+        break;
+    }
+  }
+
+  std::uint64_t dropped = 0;
+  for (const auto& b : batches) dropped += b.dropped;
+  std::fprintf(f,
+               "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+               "\"droppedEvents\":%" PRIu64 "}}\n",
+               dropped);
+  if (std::ferror(f) != 0) {
+    throw std::runtime_error("trace: write to '" + path + "' failed");
+  }
+}
+
+// ---- Sampler --------------------------------------------------------------
+
+void Sampler::start(std::chrono::milliseconds interval, Fn fn) {
+  if (running_) return;
+  {
+    LockGuard lock(mtx_);
+    stopRequested_ = false;
+    rows_.clear();
+  }
+  fn_ = std::move(fn);
+  running_ = true;
+  thread_ = std::thread([this, interval] { loop(interval); });
+}
+
+void Sampler::loop(std::chrono::milliseconds interval) {
+  nameThread("sampler");
+  bool last = false;
+  while (!last) {
+    {
+      // Explicit predicate loop (not a wait lambda) so the thread-safety
+      // analysis sees stopRequested_ read with mtx_ held.
+      UniqueLock lock(mtx_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      while (!stopRequested_) {
+        if (cv_.wait_until(lock.native(), deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      last = stopRequested_;
+    }
+    // Sample outside the lock (the callback reads live engine state); the
+    // iteration entered because of stop() records the final state.
+    auto rows = fn_();
+    LockGuard lock(mtx_);
+    for (auto& r : rows) rows_.push_back(std::move(r));
+  }
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  {
+    LockGuard lock(mtx_);
+    stopRequested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+  fn_ = nullptr;
+}
+
+std::vector<Sample> Sampler::takeRows() {
+  LockGuard lock(mtx_);
+  std::vector<Sample> out;
+  out.swap(rows_);
+  return out;
+}
+
+void Sampler::writeCsv(const std::string& path,
+                       const std::vector<Sample>& rows) {
+  FilePtr fp;
+  fp.f = std::fopen(path.c_str(), "w");
+  if (fp.f == nullptr) {
+    throw std::runtime_error("telemetry: cannot open '" + path +
+                             "' for writing");
+  }
+  std::FILE* f = fp.f;
+  std::fputs(
+      "t_ms,rank,pool_depth,net_queued,net_queued_max_link,nodes,"
+      "tasks_spawned,prunes,backtracks,local_steals,remote_steals,"
+      "failed_steals,steal_replies,bound_broadcasts,bound_applied\n",
+      f);
+  const std::uint64_t t0 = rows.empty() ? 0 : rows.front().tNanos;
+  for (const auto& s : rows) {
+    std::fprintf(
+        f,
+        "%.3f,%d,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+        ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 "\n",
+        static_cast<double>(s.tNanos - t0) / 1e6, s.rank, s.poolDepth,
+        s.netQueued, s.netQueuedMaxLink, s.metrics.nodesProcessed,
+        s.metrics.tasksSpawned, s.metrics.prunes, s.metrics.backtracks,
+        s.metrics.localSteals, s.metrics.remoteSteals,
+        s.metrics.failedSteals, s.metrics.stealReplies,
+        s.metrics.boundBroadcasts, s.metrics.boundUpdatesApplied);
+  }
+  if (std::ferror(f) != 0) {
+    throw std::runtime_error("telemetry: write to '" + path + "' failed");
+  }
+}
+
+}  // namespace yewpar::rt::trace

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "runtime/trace.hpp"
+
 namespace yewpar::rt {
 
 // ---- DelayModel ----------------------------------------------------------
@@ -130,6 +132,8 @@ InProcTransport::InProcTransport(int nLocalities, NetConfig cfg)
   links_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) {
     links_.push_back(std::make_unique<Link>());
+    links_.back()->src = static_cast<int>(i / n);
+    links_.back()->dst = static_cast<int>(i % n);
     // Uncontended (no other thread can see the link yet); taken so the
     // guarded-field discipline holds even during construction.
     LockGuard lock(links_.back()->mtx);
@@ -172,6 +176,8 @@ void InProcTransport::enqueueLocked(Link& l, Message m, Clock::time_point now,
 void InProcTransport::flushLocked(Link& l, Clock::time_point now) {
   if (l.buffer.empty()) return;
   l.frames.fetch_add(1, std::memory_order_relaxed);
+  trace::record(trace::Ev::kFrameSend, l.src,
+                static_cast<std::uint64_t>(l.dst), l.buffer.size());
   if (l.buffer.size() >= 2) {
     l.batched.fetch_add(l.buffer.size(), std::memory_order_relaxed);
   } else {
@@ -213,6 +219,8 @@ void InProcTransport::send(Message m) {
       // modelled delay - it must arrive even on a congested fabric.
       l.frames.fetch_add(1, std::memory_order_relaxed);
       l.immediate.fetch_add(1, std::memory_order_relaxed);
+      trace::record(trace::Ev::kFrameSend, l.src,
+                    static_cast<std::uint64_t>(l.dst), 1);
       l.queue.push_back(Pending{now, std::move(m)});
       if (l.queue.size() > l.queueHighWater) {
         l.queueHighWater = l.queue.size();
@@ -261,6 +269,8 @@ std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) 
       Message m = std::move(l.queue.front().msg);
       l.queue.pop_front();
       drainSpillLocked(l, now);
+      trace::record(trace::Ev::kFrameRecv, loc,
+                    static_cast<std::uint64_t>(src), m.payload.size());
       return m;
     }
   }
@@ -358,6 +368,26 @@ std::size_t InProcTransport::queueHighWater() const {
     hw = std::max(hw, l->queueHighWater);
   }
   return hw;
+}
+
+std::uint64_t InProcTransport::queuedMessagesNow() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) {
+    LockGuard lock(l->mtx);
+    total += l->buffer.size() + l->queue.size() + l->spill.size();
+  }
+  return total;
+}
+
+std::uint64_t InProcTransport::maxLinkQueueNow() const {
+  std::uint64_t deepest = 0;
+  for (const auto& l : links_) {
+    LockGuard lock(l->mtx);
+    const std::uint64_t depth =
+        l->buffer.size() + l->queue.size() + l->spill.size();
+    if (depth > deepest) deepest = depth;
+  }
+  return deepest;
 }
 
 std::array<std::uint64_t, kNetLatencyBuckets> InProcTransport::latencyHistogram()

@@ -2,8 +2,9 @@
 
 // In-process transport backend connecting simulated localities.
 //
-// This is the distributed-memory substitution described in DESIGN.md: the
-// paper runs YewPar over HPX on a Beowulf cluster; this backend runs N
+// This is the distributed-memory substitution described in
+// docs/ARCHITECTURE.md ("Transport layer"): the paper runs YewPar over HPX
+// on a Beowulf cluster; this backend runs N
 // localities inside one process, but all inter-locality communication goes
 // through the Transport interface as serialized byte messages. The fabric is
 // layered per directed link (src, dst), modelling the cost structure of a
@@ -163,6 +164,11 @@ class InProcTransport : public Transport {
   // Highest in-flight queue depth observed on any single link.
   std::size_t queueHighWater() const override;
 
+  // Instantaneous depths for the telemetry sampler: messages buffered,
+  // in flight or spilled fabric-wide, and on the deepest single link.
+  std::uint64_t queuedMessagesNow() const override;
+  std::uint64_t maxLinkQueueNow() const override;
+
   // Simulated-latency histogram summed over links: bucket i counts
   // messages whose modelled latency (sampled delay plus FIFO/congestion
   // wait) fell in [2^(i-1), 2^i) microseconds, bucket 0 being < 1us (see
@@ -197,6 +203,10 @@ class InProcTransport : public Transport {
 
   // One directed (src, dst) link: batch buffer -> bounded queue (+ spill).
   struct Link {
+    // Endpoints, fixed at construction (links_ is row-major by src); the
+    // trace frame records need them inside flushLocked.
+    int src = 0;
+    int dst = 0;
     mutable Mutex mtx;
     // Layer 1: unflushed batch; flushDue is set when the first message of
     // the current batch is buffered.

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "runtime/trace.hpp"
+
 namespace yewpar::rt {
 
 namespace {
@@ -101,6 +103,7 @@ void sendHandshake(int fd, int rank, int world) {
   wire::Handshake h;
   h.rank = static_cast<std::uint32_t>(rank);
   h.world = static_cast<std::uint32_t>(world);
+  h.sendNanos = trace::nowNanos();
   const auto bytes = h.encode();
   if (!writeFull(fd, bytes.data(), bytes.size())) {
     throw TransportError("handshake write failed: " + errnoText());
@@ -164,19 +167,28 @@ wire::Handshake readHandshake(int fd, int expectWorld,
 
 namespace {
 
+// A completed handshake plus the local steady clock when the peer's half
+// arrived: sendNanos - recvNanos is this side's half of the clock-offset
+// estimate used to align traces from different processes at export.
+struct HandshakeResult {
+  wire::Handshake h;
+  std::int64_t clockDelta = 0;  // peer sendNanos - local recvNanos
+};
+
 // Full bidirectional handshake on a fresh connection: send ours, read
-// theirs (both sides send first - 16 bytes always fit the socket buffer,
+// theirs (both sides send first - 24 bytes always fit the socket buffer,
 // so the symmetric order cannot deadlock). Returns nullopt when the
 // connection died or went silent mid-exchange - retryable, e.g. a connect
 // that landed in the backlog of a dying listener from a previous search's
 // mesh on the same port. Throws TransportError on magic/version/world
 // mismatch: those are permanent and must fail fast, not be retried into a
 // timeout.
-std::optional<wire::Handshake> tryExchangeHandshake(
+std::optional<HandshakeResult> tryExchangeHandshake(
     int fd, int rank, int world, std::chrono::milliseconds timeout) {
   wire::Handshake mine;
   mine.rank = static_cast<std::uint32_t>(rank);
   mine.world = static_cast<std::uint32_t>(world);
+  mine.sendNanos = trace::nowNanos();
   const auto bytes = mine.encode();
   if (!writeFull(fd, bytes.data(), bytes.size())) return std::nullopt;
 
@@ -186,9 +198,11 @@ std::optional<wire::Handshake> tryExchangeHandshake(
                [&] { return Clock::now() >= deadline; }) != ReadResult::Ok) {
     return std::nullopt;
   }
+  const auto recvNanos = trace::nowNanos();
   const auto h = wire::Handshake::decode(buf);
   validateHandshake(h, world);
-  return h;
+  return HandshakeResult{h, static_cast<std::int64_t>(h.sendNanos) -
+                                static_cast<std::int64_t>(recvNanos)};
 }
 
 // Cap one handshake attempt so a doomed connection is abandoned and
@@ -276,7 +290,7 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
           continue;  // listener not up yet
         }
         setNoDelay(fd);
-        std::optional<wire::Handshake> h;
+        std::optional<HandshakeResult> h;
         try {
           h = tryExchangeHandshake(fd, cfg_.rank, world_,
                                    std::min(kHandshakeAttempt,
@@ -293,15 +307,16 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
           std::this_thread::sleep_for(std::chrono::milliseconds(20));
           continue;
         }
-        if (static_cast<int>(h->rank) != j) {
+        if (static_cast<int>(h->h.rank) != j) {
           ::close(fd);
           ::freeaddrinfo(res);
           throw TransportError(
               "peer at " + cfg_.peers[static_cast<std::size_t>(j)] +
-              " identifies as rank " + std::to_string(h->rank) +
+              " identifies as rank " + std::to_string(h->h.rank) +
               ", expected " + std::to_string(j));
         }
         peers_[static_cast<std::size_t>(j)]->fd = fd;
+        peers_[static_cast<std::size_t>(j)]->clockDelta = h->clockDelta;
         break;
       }
       ::freeaddrinfo(res);
@@ -327,7 +342,7 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
       const int fd = ::accept(listenFd_, nullptr, nullptr);
       if (fd < 0) throw TransportError("accept: " + errnoText());
       setNoDelay(fd);
-      std::optional<wire::Handshake> h;
+      std::optional<HandshakeResult> h;
       try {
         h = tryExchangeHandshake(fd, cfg_.rank, world_,
                                  std::min(kHandshakeAttempt, remainingMs()));
@@ -342,11 +357,11 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
         ::close(fd);  // dialler gave up mid-handshake; it will redial
         continue;
       }
-      const int peer = static_cast<int>(h->rank);
+      const int peer = static_cast<int>(h->h.rank);
       if (peer <= cfg_.rank || peer >= world_) {
         ::close(fd);
         throw TransportError("unexpected connection from rank " +
-                             std::to_string(h->rank));
+                             std::to_string(h->h.rank));
       }
       Peer& slot = *peers_[static_cast<std::size_t>(peer)];
       if (slot.fd >= 0) {
@@ -358,6 +373,7 @@ TcpTransport::TcpTransport(TcpConfig cfg) : cfg_(std::move(cfg)) {
         ++accepted;
       }
       slot.fd = fd;
+      slot.clockDelta = h->clockDelta;
     }
   } catch (...) {
     for (auto& p : peers_) {
@@ -412,6 +428,10 @@ void TcpTransport::send(Message m) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
     frames_.fetch_add(1, std::memory_order_relaxed);
+    trace::record(trace::Ev::kFrameSend, cfg_.rank,
+                  static_cast<std::uint64_t>(m.dst), 1);
+    trace::record(trace::Ev::kFrameRecv, cfg_.rank,
+                  static_cast<std::uint64_t>(m.src), payloadBytes);
     pushInbox(std::move(m));
     return;
   }
@@ -468,6 +488,7 @@ std::optional<Message> TcpTransport::recvWait(
 
 void TcpTransport::senderLoop(int peerRank) {
   Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
+  trace::nameThread("tcp.tx" + std::to_string(peerRank));
   for (;;) {
     std::deque<Message> batch;
     {
@@ -497,6 +518,8 @@ void TcpTransport::senderLoop(int peerRank) {
         p.dead = true;
         break;
       }
+      trace::record(trace::Ev::kFrameSend, cfg_.rank,
+                    static_cast<std::uint64_t>(peerRank), 1);
     }
   }
   // Every queued frame is on the wire: half-close so the peer's receiver
@@ -507,6 +530,7 @@ void TcpTransport::senderLoop(int peerRank) {
 void TcpTransport::receiverLoop(int peerRank) {
   Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
   const int fd = p.fd;
+  trace::nameThread("tcp.rx" + std::to_string(peerRank));
   // During shutdown, frames already in flight must still land (closing with
   // unread data RSTs the connection, which can destroy data going the OTHER
   // way that the peer has not read yet). "Drained" is either the peer's
@@ -561,6 +585,8 @@ void TcpTransport::receiverLoop(int peerRank) {
       }
       break;
     }
+    trace::record(trace::Ev::kFrameRecv, cfg_.rank,
+                  static_cast<std::uint64_t>(peerRank), h.payloadLen);
     pushInbox(Message{peerRank, cfg_.rank, static_cast<int>(h.tag),
                       std::move(payload)});
     lastFrameAt = Clock::now();
@@ -608,6 +634,30 @@ std::size_t TcpTransport::queueHighWater() const {
     if (p->highWater > hw) hw = p->highWater;
   }
   return hw;
+}
+
+std::uint64_t TcpTransport::queuedMessagesNow() const {
+  std::uint64_t total = 0;
+  for (const auto& p : peers_) {
+    LockGuard lock(p->mtx);
+    total += p->sendq.size();
+  }
+  LockGuard lock(inboxMtx_);
+  return total + inbox_.size();
+}
+
+std::uint64_t TcpTransport::maxLinkQueueNow() const {
+  std::uint64_t deepest = 0;
+  for (const auto& p : peers_) {
+    LockGuard lock(p->mtx);
+    if (p->sendq.size() > deepest) deepest = p->sendq.size();
+  }
+  return deepest;
+}
+
+std::int64_t TcpTransport::handshakeClockDeltaNanos(int peer) const {
+  if (peer < 0 || peer >= world_ || peer == cfg_.rank) return 0;
+  return peers_[static_cast<std::size_t>(peer)]->clockDelta;
 }
 
 }  // namespace yewpar::rt

@@ -106,12 +106,26 @@ class TcpTransport : public Transport {
   // of the simulated fabric's in-flight high-water mark.
   std::size_t queueHighWater() const override;
 
+  // Instantaneous depths for the telemetry sampler: outbound queues plus
+  // the local inbox, and the deepest single peer queue.
+  std::uint64_t queuedMessagesNow() const override;
+  std::uint64_t maxLinkQueueNow() const override;
+
+  // Peer's handshake send stamp minus our steady clock at handshake read:
+  // the local half of the clock-offset estimate used to align traces at
+  // export. Zero for self or out-of-range.
+  std::int64_t handshakeClockDeltaNanos(int peer) const override;
+
  private:
   struct Peer {
     // Set during mesh construction (before sender/receiver spawn) and reset
     // only in shutdown() after both threads have joined, so the threads read
     // it without the lock; killLink's ::shutdown() on it is async-safe.
     int fd = -1;
+    // Clock-offset half-estimate from this connection's handshake (peer's
+    // send stamp minus local receive time). Written during mesh
+    // construction only, like fd.
+    std::int64_t clockDelta = 0;
     std::thread sender;
     std::thread receiver;
     mutable Mutex mtx;
@@ -137,7 +151,7 @@ class TcpTransport : public Transport {
   int listenFd_ = -1;
   std::vector<std::unique_ptr<Peer>> peers_;  // index = rank; own slot unused
 
-  Mutex inboxMtx_;
+  mutable Mutex inboxMtx_;
   std::condition_variable inboxCv_;
   std::deque<Message> inbox_ GUARDED_BY(inboxMtx_);
 

@@ -102,6 +102,23 @@ class Transport {
       const {
     return {};
   }
+
+  // ---- observability ----------------------------------------------------
+  // Instantaneous queue depths for the telemetry sampler: messages queued
+  // fabric-wide and on the deepest single link/peer. Zero for backends that
+  // do not queue.
+  virtual std::uint64_t queuedMessagesNow() const { return 0; }
+  virtual std::uint64_t maxLinkQueueNow() const { return 0; }
+
+  // Clock-offset raw material for cross-process trace alignment: the peer's
+  // handshake send stamp minus the local steady clock at handshake receive
+  // (one half-estimate; see docs/ARCHITECTURE.md "Observability"). Zero when
+  // the transport shares one clock with its peers (in-process backends) or
+  // no handshake was exchanged with `peer`.
+  virtual std::int64_t handshakeClockDeltaNanos(int peer) const {
+    (void)peer;
+    return 0;
+  }
 };
 
 }  // namespace yewpar::rt

@@ -16,6 +16,11 @@
 //   u32 rank      the sender's locality id.
 //   u32 world     the sender's locality count; both sides must agree on
 //                 the size of the mesh they are joining.
+//   u64 sendNanos the sender's steady clock when the handshake was written.
+//                 Paired with the receiver's clock at read time this yields
+//                 a per-peer clock-offset estimate used to align traces from
+//                 different processes at export (docs/ARCHITECTURE.md
+//                 "Observability").
 //
 // Frame (one per Message):
 //   u32 payloadLen   length of the serialized payload that follows.
@@ -48,7 +53,8 @@ constexpr std::uint32_t protocolVersion() {
       tag::kTerminate,       tag::kBoundUpdate,     tag::kPoolStealRequest,
       tag::kPoolStealReply,  tag::kStackStealRequest,
       tag::kStackStealReply, tag::kSpaceBroadcast,  tag::kGatherRequest,
-      tag::kGatherReply,     tag::kStopSearch,      tag::kUser,
+      tag::kGatherReply,     tag::kStopSearch,      tag::kTraceData,
+      tag::kUser,
   };
   std::uint32_t h = 2166136261u;
   for (int t : tags) {
@@ -73,6 +79,16 @@ inline std::uint32_t getU32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+inline void putU64(std::uint8_t* p, std::uint64_t v) {
+  putU32(p, static_cast<std::uint32_t>(v));
+  putU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint64_t getU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(getU32(p)) |
+         (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
 // ---- handshake -----------------------------------------------------------
 
 struct Handshake {
@@ -80,8 +96,9 @@ struct Handshake {
   std::uint32_t version = protocolVersion();
   std::uint32_t rank = 0;
   std::uint32_t world = 0;
+  std::uint64_t sendNanos = 0;  // sender's steady clock at encode time
 
-  static constexpr std::size_t kBytes = 16;
+  static constexpr std::size_t kBytes = 24;
 
   std::array<std::uint8_t, kBytes> encode() const {
     std::array<std::uint8_t, kBytes> b{};
@@ -89,6 +106,7 @@ struct Handshake {
     putU32(b.data() + 4, version);
     putU32(b.data() + 8, rank);
     putU32(b.data() + 12, world);
+    putU64(b.data() + 16, sendNanos);
     return b;
   }
 
@@ -98,6 +116,7 @@ struct Handshake {
     h.version = getU32(p + 4);
     h.rank = getU32(p + 8);
     h.world = getU32(p + 12);
+    h.sendNanos = getU64(p + 16);
     return h;
   }
 };

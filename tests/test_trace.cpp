@@ -1,0 +1,442 @@
+// The observability layer (docs/ARCHITECTURE.md "Observability"): per-thread
+// trace ring buffers (overflow-drop accounting, concurrent writers - the CI
+// TSan lane runs this suite), Chrome trace_event JSON export well-formedness,
+// the periodic telemetry sampler's start/stop contract, and a full 2-rank
+// loopback-TCP engine run whose merged trace on rank 0 must carry events
+// from BOTH ranks (`ctest -L net` selects it).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/uts/uts.hpp"
+#include "common/synth.hpp"
+#include "core/yewpar.hpp"
+#include "runtime/trace.hpp"
+
+using namespace yewpar;
+using namespace yewpar::rt;
+using namespace yewpar::testing;
+using namespace std::chrono_literals;
+
+namespace {
+
+// ---- a mini JSON validator ------------------------------------------------
+// Enough of RFC 8259 to reject anything Perfetto's parser would: balanced
+// structure, quoted keys, legal literals/numbers/escapes, no trailing junk.
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+
+  bool done() const { return p == end; }
+  void ws() {
+    while (p != end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool lit(const char* s) {
+    const auto n = std::string_view(s).size();
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::string_view(p, n) != s) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+  bool string() {
+    if (p == end || *p != '"') return false;
+    ++p;
+    while (p != end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p == end) return false;
+      }
+      ++p;
+    }
+    if (p == end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p;
+    if (p != end && *p == '-') ++p;
+    while (p != end && ((*p >= '0' && *p <= '9') || *p == '.' ||
+                        *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    return p != start;
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    ws();
+    if (p == end) return false;
+    if (*p == '{') {
+      ++p;
+      ws();
+      if (p != end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (p == end || *p != ':') return false;
+        ++p;
+        if (!value()) return false;
+        ws();
+        if (p != end && *p == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      if (p == end || *p != '}') return false;
+      ++p;
+      return true;
+    }
+    if (*p == '[') {
+      ++p;
+      ws();
+      if (p != end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        if (!value()) return false;
+        ws();
+        if (p != end && *p == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      if (p == end || *p != ']') return false;
+      ++p;
+      return true;
+    }
+    if (*p == '"') return string();
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+};
+
+bool validJson(const std::string& text) {
+  JsonCursor c{text.data(), text.data() + text.size()};
+  if (!c.value()) return false;
+  c.ws();
+  return c.done();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Per-test output files, unique per process so parallel ctest runs of this
+// suite do not clobber each other; removed on scope exit.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& stem)
+      : path(stem + "." + std::to_string(::getpid()) + ".tmp") {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+// ---- ring buffers ---------------------------------------------------------
+
+TEST(TraceRing, DisabledByDefaultAndRecordIsANoOp) {
+  ASSERT_FALSE(trace::enabled());
+  trace::record(trace::Ev::kTaskRunBegin, 0, 1, 2);  // must not crash
+  trace::nameThread("ghost");
+}
+
+TEST(TraceRing, OverflowDropsNewEventsAndCountsThem) {
+  trace::session().begin(/*capacityPerThread=*/64);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    trace::record(trace::Ev::kPoolPush, 0, i, i);
+  }
+  auto batch = trace::session().collect(-1);
+  trace::session().end();
+
+  ASSERT_EQ(batch.events.size(), 64u);
+  EXPECT_EQ(batch.dropped, 136u);
+  // Drop-new keeps the OLDEST events: the prefix of the run, in order.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(batch.events[i].a, i);
+  }
+}
+
+TEST(TraceRing, ConcurrentWritersAccountForEveryEvent) {
+  // Four writers hammering their own buffers while the main thread harvests
+  // mid-flight: TSan (CI lane) checks the release/acquire discipline; the
+  // arithmetic checks nothing is lost or double-counted.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  constexpr std::size_t kCapacity = 1024;  // force drops on every thread
+
+  trace::session().begin(kCapacity);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      trace::nameThread("writer" + std::to_string(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        trace::record(trace::Ev::kPoolPush, t, i,
+                      static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+
+  // Concurrent harvest: a valid prefix, never more than written so far.
+  const auto midFlight = trace::session().collect(-1);
+  EXPECT_LE(midFlight.events.size(), kThreads * kCapacity);
+  for (const auto& e : midFlight.events) {
+    EXPECT_EQ(static_cast<trace::Ev>(e.kind), trace::Ev::kPoolPush);
+  }
+
+  for (auto& w : writers) w.join();
+  auto batch = trace::session().collect(-1);
+  trace::session().end();
+
+  EXPECT_EQ(batch.events.size() + batch.dropped, kThreads * kPerThread);
+  EXPECT_EQ(batch.events.size(), kThreads * kCapacity);
+  // Each writer's kept events are its own prefix, in program order.
+  for (int t = 0; t < kThreads; ++t) {
+    std::uint64_t expect = 0;
+    for (const auto& e : batch.events) {
+      if (e.b != static_cast<std::uint64_t>(t)) continue;
+      EXPECT_EQ(e.a, expect++);
+    }
+    EXPECT_EQ(expect, kCapacity);
+  }
+}
+
+TEST(TraceRing, SessionRearmsCleanly) {
+  trace::session().begin(64);
+  trace::record(trace::Ev::kIncumbent, 0, 1);
+  trace::session().end();
+  ASSERT_FALSE(trace::enabled());
+  trace::record(trace::Ev::kIncumbent, 0, 2);  // disarmed: dropped silently
+
+  trace::session().begin(64);
+  trace::record(trace::Ev::kIncumbent, 0, 3);
+  auto batch = trace::session().collect(-1);
+  trace::session().end();
+
+  // Only the post-rearm event: begin() resets the registry.
+  ASSERT_EQ(batch.events.size(), 1u);
+  EXPECT_EQ(batch.events[0].a, 3u);
+}
+
+// ---- JSON export ----------------------------------------------------------
+
+TEST(TraceJson, SimEngineRunProducesWellFormedChromeTrace) {
+  TempFile out("test_trace_sim");
+  Params p;
+  p.nLocalities = 2;
+  p.workersPerLocality = 2;
+  p.dcutoff = 3;
+  p.traceFile = out.path;
+
+  SynthSpace space{3, 7};
+  const auto res =
+      skeletons::DepthBounded<SynthGen, Enumeration<CountAll>>::search(
+          p, space, SynthNode{0, 1});
+  EXPECT_TRUE(res.complete);
+  EXPECT_FALSE(trace::enabled()) << "engine must disarm the session";
+
+  const auto text = slurp(out.path);
+  EXPECT_TRUE(validJson(text)) << "invalid JSON in " << out.path;
+  // Worker task spans and their metadata tracks made it out.
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"task\""), std::string::npos);
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("L0.w0"), std::string::npos);
+  // Both simulated localities recorded under their own pid.
+  EXPECT_NE(text.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceJson, EmptyBatchListStillWritesAValidFile) {
+  TempFile out("test_trace_empty");
+  trace::writeChromeJson(out.path, {});
+  EXPECT_TRUE(validJson(slurp(out.path)));
+}
+
+TEST(TraceJson, SequentialRunIsOneWholeSearchSpan) {
+  TempFile out("test_trace_seq");
+  Params p;
+  p.traceFile = out.path;
+  SynthSpace space{3, 6};
+  const auto res =
+      skeletons::Sequential<SynthGen, Enumeration<CountAll>>::search(
+          p, space, SynthNode{0, 1});
+  EXPECT_TRUE(res.complete);
+  const auto text = slurp(out.path);
+  EXPECT_TRUE(validJson(text));
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("L0.seq"), std::string::npos);
+}
+
+// ---- telemetry sampler ----------------------------------------------------
+
+TEST(TraceSampler, StartStopIdempotentAndRestartable) {
+  trace::Sampler s;
+  std::atomic<int> calls{0};
+  const auto fn = [&calls] {
+    trace::Sample row;
+    row.rank = 0;
+    row.poolDepth = static_cast<std::uint64_t>(calls.fetch_add(1));
+    return std::vector<trace::Sample>{row};
+  };
+
+  s.start(5ms, fn);
+  s.start(5ms, fn);  // second start: no-op, no second thread
+  std::this_thread::sleep_for(30ms);
+  s.stop();
+  s.stop();  // second stop: no-op
+  const auto rows = s.takeRows();
+  // The final sample is taken during stop(), so at least one row exists
+  // even if the host never scheduled the timer ticks.
+  ASSERT_GE(rows.size(), 1u);
+  EXPECT_EQ(rows.front().rank, 0);
+
+  // A stopped sampler restarts cleanly with fresh rows.
+  const int callsBefore = calls.load();
+  s.start(5ms, fn);
+  s.stop();
+  const auto rows2 = s.takeRows();
+  ASSERT_GE(rows2.size(), 1u);
+  EXPECT_GE(calls.load(), callsBefore + 1);
+}
+
+TEST(TraceSampler, CsvHasHeaderAndOneLinePerRow) {
+  TempFile out("test_trace_csv");
+  std::vector<trace::Sample> rows(3);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].tNanos = 1'000'000 * (i + 1);
+    rows[i].rank = static_cast<int>(i);
+    rows[i].poolDepth = i * 10;
+  }
+  trace::Sampler::writeCsv(out.path, rows);
+  const auto text = slurp(out.path);
+  EXPECT_EQ(text.find("t_ms,rank,pool_depth,net_queued"), 0u);
+  std::size_t lines = 0;
+  for (const char ch : text) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1u + rows.size());  // header + rows
+}
+
+TEST(TraceSampler, EngineRunWritesTelemetryCsv) {
+  TempFile csv("test_trace_telemetry");
+  Params p;
+  p.nLocalities = 2;
+  p.workersPerLocality = 2;
+  p.dcutoff = 3;
+  p.sampleIntervalMs = 5;
+  p.sampleCsv = csv.path;
+
+  SynthSpace space{3, 7};
+  const auto res =
+      skeletons::DepthBounded<SynthGen, Enumeration<CountAll>>::search(
+          p, space, SynthNode{0, 1});
+  EXPECT_TRUE(res.complete);
+  const auto text = slurp(csv.path);
+  EXPECT_EQ(text.find("t_ms,rank,pool_depth"), 0u);
+  // The final stop()-time sample guarantees one row per locality at least.
+  EXPECT_NE(text.find("\n"), std::string::npos);
+}
+
+// ---- 2-rank TCP run: merged trace carries both ranks ----------------------
+
+namespace {
+
+std::uint16_t nextPortBase() {
+  static std::atomic<std::uint16_t> counter{0};
+  const auto pidSpread =
+      static_cast<std::uint16_t>((::getpid() * 41) % 12000);
+  return static_cast<std::uint16_t>(34000 + pidSpread +
+                                    counter.fetch_add(8));
+}
+
+}  // namespace
+
+TEST(TraceTcp, MergedTraceOnRankZeroCarriesBothRanks) {
+  // Big enough that rank 1 reliably wins remote steals before the search
+  // drains (~137k nodes, ~10ms); a tiny tree can finish before any steal
+  // lands, leaving a merged trace with rank-0 events only.
+  apps::uts::Params tree;
+  tree.b0 = 6;
+  tree.maxDepth = 10;
+  tree.seed = 42;
+  const auto root = apps::uts::rootNode(tree);
+
+  TempFile out("test_trace_tcp");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto base = nextPortBase();
+    std::vector<std::string> peers = {
+        "127.0.0.1:" + std::to_string(base),
+        "127.0.0.1:" + std::to_string(base + 1)};
+    std::exception_ptr errs[2];
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        Params p;
+        p.workersPerLocality = 2;
+        p.chunk = parseChunkPolicy("half");
+        p.transport = TransportKind::Tcp;
+        p.rank = r;
+        p.peers = peers;
+        p.traceFile = out.path;  // rank 0 writes; rank 1 ships its batch
+        try {
+          const auto res = skeletons::StackStealing<
+              apps::uts::Gen, Enumeration<CountAll>>::search(p, tree, root);
+          if (r == 0) {
+            EXPECT_TRUE(res.isRoot);
+          }
+        } catch (...) {
+          errs[r] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (errs[0] || errs[1]) continue;  // port collision: retry next block
+
+    const auto text = slurp(out.path);
+    ASSERT_TRUE(validJson(text)) << "invalid merged JSON in " << out.path;
+    // Worker task spans from BOTH ranks, under their own pid, in ONE file.
+    // A scheduling fluke can drain the tree before rank 1 wins a steal;
+    // retrying distinguishes that from a broken gather, which would fail
+    // every attempt.
+    const bool rank0Tasks =
+        text.find("\"name\":\"task\",\"cat\":\"task\",\"pid\":0") !=
+        std::string::npos;
+    const bool rank1Tasks =
+        text.find("\"name\":\"task\",\"cat\":\"task\",\"pid\":1") !=
+        std::string::npos;
+    if (!rank0Tasks || !rank1Tasks) continue;
+    // The transport layer recorded wire activity somewhere in the run.
+    EXPECT_NE(text.find("\"name\":\"frame-send\""), std::string::npos);
+    return;
+  }
+  FAIL() << "no 2-rank traced run produced task spans from both ranks";
+}
