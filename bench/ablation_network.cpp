@@ -15,15 +15,26 @@
 // A final back-pressure block re-runs CMST with a tiny --net-queue-cap to
 // drive the spill path.
 //
+// The shaping layer is transport-generic, so the same sweep has real-wire
+// rows: a framed-vs-unframed block re-runs both workloads over a genuine
+// 2-rank loopback TCP mesh (each rank an engine on its own thread, exactly
+// as two processes would run) and requires batching to cut wire frames
+// there too, with byte-identical results.
+//
 // Flags: --tiny (CI smoke sizes)  --reps N (timing repetitions)
-//        --only UTS|CMST (restrict workloads)
+//        --only UTS|CMST|TCP (restrict workloads)
 // Exits non-zero if any configuration changes a search result, or if
-// batching fails to cut the frame count on the CMST sweep.
+// batching fails to cut the frame count on the CMST sweep or the TCP rows.
 
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "apps/cmst/cmst.hpp"
@@ -50,9 +61,52 @@ struct RunResult {
 
 bool gResultsAgree = true;
 bool gBatchingReduces = true;
+bool gTcpBatchingReduces = true;
 
 std::string batchLabel(std::size_t batch) {
   return batch == 1 ? "1 (off)" : std::to_string(batch);
+}
+
+// Sequential port blocks per process so parallel CI jobs do not collide.
+std::uint16_t nextPortBase() {
+  static std::atomic<std::uint16_t> counter{0};
+  const auto pidSpread =
+      static_cast<std::uint16_t>((::getpid() * 41) % 12000);
+  return static_cast<std::uint16_t>(33000 + pidSpread + counter.fetch_add(4));
+}
+
+// Run `searchFn` as a real 2-rank loopback TCP job, one engine per thread
+// (each constructs its own TcpTransport exactly as two processes would).
+// Returns rank 0's merged outcome; retries on port collisions.
+template <typename SearchFn>
+RunResult runTcpPair(const Params& base, SearchFn&& searchFn) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto portBase = nextPortBase();
+    std::vector<std::string> peers;
+    for (int r = 0; r < 2; ++r) {
+      peers.push_back("127.0.0.1:" + std::to_string(portBase + r));
+    }
+    RunResult res[2];
+    std::exception_ptr errs[2];
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&, r] {
+        Params p = base;
+        p.transport = TransportKind::Tcp;
+        p.rank = r;
+        p.peers = peers;
+        try {
+          res[r] = searchFn(p);
+        } catch (...) {
+          errs[r] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (!errs[0] && !errs[1]) return res[0];
+  }
+  throw std::runtime_error(
+      "ablation_network: could not bring up a 2-rank loopback TCP mesh");
 }
 
 // Run `runFn` at every (batch x delay) point; one table row each. Every
@@ -197,12 +251,100 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (only.empty() || only == "TCP") {
+    // Framed vs unframed over real sockets: the same shaping layer wraps
+    // the TCP backend in the engine, so batching must cut genuine wire
+    // frames too. "wire" in the Delay column = whatever loopback actually
+    // does; no model is applied on this backend. The framed row holds the
+    // flush window open longer (--net-flush-us 2000) so bursty coordination
+    // traffic actually shares frames.
+    uts::Params tree;
+    tree.shape = uts::Shape::Geometric;
+    tree.b0 = 6;
+    tree.maxDepth = tiny ? 8 : 12;
+    tree.seed = 23;
+    auto runUts = [&](const Params& p) {
+      RunResult r;
+      Timer t;
+      auto out = skeletons::StackStealing<uts::Gen, Enumeration<CountAll>>::
+          search(p, tree, uts::rootNode(tree));
+      r.seconds = t.elapsedSeconds();
+      r.result = static_cast<std::int64_t>(out.sum);
+      r.metrics = out.metrics;
+      return r;
+    };
+    auto inst = tiny ? cmst::randomInstance(12, 30, 60, 2020)
+                     : sweepCmstInstance();
+    auto runCmstTcp = [&](const Params& p) {
+      RunResult r;
+      Timer t;
+      auto out = skeletons::DepthBounded<
+          cmst::Gen, Optimisation,
+          BoundFunction<&cmst::upperBound>>::search(p, inst,
+                                                    cmst::rootNode(inst));
+      r.seconds = t.elapsedSeconds();
+      r.result = out.objective;
+      r.metrics = out.metrics;
+      return r;
+    };
+
+    struct TcpWorkload {
+      const char* name;
+      std::function<RunResult(const Params&)> run;
+    };
+    const std::vector<TcpWorkload> workloads = {
+        {"UTS(geo)/tcp", runUts},
+        {"CMST/tcp", runCmstTcp},
+    };
+    for (const auto& w : workloads) {
+      Params base;
+      base.nLocalities = 2;
+      base.workersPerLocality = 2;
+      base.chunk = parseChunkPolicy("half");
+      base.dcutoff = 4;
+
+      // Reference result from the simulated backend: the wire must never
+      // change an answer, whichever transport carries it.
+      const std::int64_t simResult = w.run(base).result;
+
+      for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+        Params p = base;
+        p.net.batchSize = batch;
+        if (batch > 1) {
+          p.net.flushAfter = std::chrono::microseconds(2000);
+        }
+        RunResult r = runTcpPair(p, w.run);
+        const bool ok = r.result == simResult;
+        if (!ok) gResultsAgree = false;
+        if (batch == 1 &&
+            r.metrics.networkFrames != r.metrics.networkMessages) {
+          // Unframed baseline identity: one wire frame per message.
+          gTcpBatchingReduces = false;
+        }
+        if (batch > 1 &&
+            r.metrics.networkFrames >= r.metrics.networkMessages) {
+          gTcpBatchingReduces = false;
+        }
+        table.addRow({w.name, batchLabel(batch), "wire",
+                      TablePrinter::cell(r.seconds, 3),
+                      std::to_string(r.metrics.networkMessages),
+                      std::to_string(r.metrics.networkFrames),
+                      std::to_string(r.metrics.networkBatched),
+                      std::to_string(r.metrics.linkQueueHighWater),
+                      std::to_string(r.metrics.networkSpills),
+                      std::to_string(
+                          r.metrics.netLatencyQuantileMicros(0.99)),
+                      std::to_string(r.result) + (ok ? "" : " MISMATCH")});
+      }
+    }
+  }
+
   table.print(std::cout);
   std::printf("\nexpectation: Frames == Msgs at batch 1, Frames < Msgs at "
               "batch 8/32 (Batched counts the messages that shared a "
               "frame); HW bounded and Spills > 0 only under cap=2; p99 "
               "tracks the delay model; identical Result down every "
-              "workload.\n");
+              "workload, sim or wire.\n");
 
   bool failed = false;
   if (!gResultsAgree) {
@@ -213,6 +355,11 @@ int main(int argc, char** argv) {
   if (!gBatchingReduces) {
     std::fprintf(stderr, "FAIL: batching did not reduce the frame count on "
                          "the CMST sweep vs --net-batch 1\n");
+    failed = true;
+  }
+  if (!gTcpBatchingReduces) {
+    std::fprintf(stderr, "FAIL: batching did not cut TCP wire frames vs "
+                         "--net-batch 1 on the loopback rows\n");
     failed = true;
   }
   return failed ? 1 : 0;

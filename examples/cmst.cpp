@@ -36,7 +36,7 @@ cmst::Instance loadInstance(const Flags& flags) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "seq");
   Params params = examples::paramsFromFlags(flags);
@@ -81,4 +81,6 @@ int main(int argc, char** argv) {
   }
   examples::printMetrics(out);
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

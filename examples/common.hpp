@@ -56,13 +56,15 @@ inline Params paramsFromFlags(const Flags& f) {
     p.chunk.k = static_cast<std::uint32_t>(k);
   }
   p.decisionTarget = f.getInt("decisionBound", 0);
-  // Simulated transport (docs/FLAGS.md): --net-batch sizes the per-link send
-  // buffer (1 = flush every send), --net-flush-us bounds how long a buffered
-  // message may wait, --net-queue-cap bounds the in-flight queue per link
-  // (0 = unbounded; overflow sheds to a spill list, adding latency),
-  // --net-delay picks the per-link delay model, --net-seed its RNG seed.
-  // The legacy --netdelay us stays as shorthand for --net-delay fixed:us
-  // and loses to an explicit --net-delay.
+  // Link shaping, applied by rt::ShapedTransport on BOTH backends
+  // (docs/FLAGS.md): --net-batch sizes the per-link send buffer (1 = flush
+  // every send), --net-flush-us bounds how long a buffered message may
+  // wait, --net-queue-cap bounds the in-flight queue per link (0 =
+  // unbounded; overflow sheds to a spill list, adding latency), --net-delay
+  // picks the per-link delay model (simulated fabric only - real sockets
+  // bring their own latency), --net-seed its RNG seed. The legacy
+  // --netdelay us stays as shorthand for --net-delay fixed:us and loses to
+  // an explicit --net-delay.
   {
     const auto batch = f.getUint64("net-batch", 1);
     if (batch < 1) {
@@ -105,6 +107,10 @@ inline Params paramsFromFlags(const Flags& f) {
             "--rank must index into the --peers list");
       }
       p.nLocalities = static_cast<int>(p.peers.size());
+      // Rank-failure detection (docs/DEPLOYMENT.md): a peer silent for
+      // --peer-timeout-ms is declared dead and every surviving rank exits
+      // non-zero naming it, instead of hanging. 0 disables detection.
+      p.peerTimeoutMs = f.getUint64("peer-timeout-ms", p.peerTimeoutMs);
     } else if (transport != "sim") {
       throw std::invalid_argument("unknown --transport " + transport +
                                   " (expected sim|tcp)");
@@ -161,6 +167,17 @@ auto searchWith(const std::string& skeleton, const Params& p,
       " (expected seq|depthbounded|stacksteal|budget|ordered|randomspawn)");
 }
 
+// Terminal handler for an example's main (used as a function-try-block
+// catch): a runtime failure - bad flags, a transport error, a peer declared
+// dead mid-run - becomes a clean diagnostic and a non-zero exit instead of
+// std::terminate. Under --transport tcp every surviving rank of an aborted
+// job exits through this path, so the launcher (and docs/DEPLOYMENT.md's
+// troubleshooting table) can rely on stderr naming the dead rank.
+inline int failMain(const std::exception& e) {
+  std::fprintf(stderr, "fatal: %s\n", e.what());
+  return 1;
+}
+
 template <typename Out>
 void printMetrics(const Out& out) {
   std::printf("elapsed:   %.3f s\n", out.elapsedSeconds);
@@ -197,7 +214,7 @@ void printMetrics(const Out& out) {
                 static_cast<unsigned long long>(out.metrics.networkBatched),
                 static_cast<unsigned long long>(out.metrics.networkImmediate));
     std::printf("links:     queue high-water %llu, %llu spilled "
-                "(back-pressure), sim latency p50/p99 <= %llu/%llu us\n",
+                "(back-pressure), link latency p50/p99 <= %llu/%llu us\n",
                 static_cast<unsigned long long>(
                     out.metrics.linkQueueHighWater),
                 static_cast<unsigned long long>(out.metrics.networkSpills),
@@ -205,6 +222,11 @@ void printMetrics(const Out& out) {
                     out.metrics.netLatencyQuantileMicros(0.50)),
                 static_cast<unsigned long long>(
                     out.metrics.netLatencyQuantileMicros(0.99)));
+    if (out.metrics.networkHeartbeats != 0) {
+      std::printf("liveness:  %llu idle heartbeats\n",
+                  static_cast<unsigned long long>(
+                      out.metrics.networkHeartbeats));
+    }
   }
   std::printf("bounds:    %llu broadcast / %llu applied\n",
               static_cast<unsigned long long>(out.metrics.boundBroadcasts),

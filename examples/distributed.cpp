@@ -17,7 +17,7 @@
 using namespace yewpar;
 using namespace yewpar::apps;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "depthbounded");
   Params base = examples::paramsFromFlags(flags);
@@ -55,4 +55,6 @@ int main(int argc, char** argv) {
               "exchange tasks and bounds only through serialized "
               "messages.\n");
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

@@ -35,7 +35,7 @@ Graph loadGraph(const Flags& flags) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "seq");
   Params params = examples::paramsFromFlags(flags);
@@ -69,4 +69,6 @@ int main(int argc, char** argv) {
   std::printf("\n");
   examples::printMetrics(out);
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

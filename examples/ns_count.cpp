@@ -12,7 +12,7 @@
 using namespace yewpar;
 using namespace yewpar::apps;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "seq");
   Params params = examples::paramsFromFlags(flags);
@@ -39,4 +39,6 @@ int main(int argc, char** argv) {
   }
   examples::printMetrics(out);
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

@@ -19,7 +19,7 @@
 using namespace yewpar;
 using namespace yewpar::apps;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "depthbounded");
   Params params = examples::paramsFromFlags(flags);
@@ -70,4 +70,6 @@ int main(int argc, char** argv) {
 
   examples::printMetrics(best);
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

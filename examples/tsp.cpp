@@ -10,7 +10,7 @@
 using namespace yewpar;
 using namespace yewpar::apps;
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Flags flags(argc, argv);
   const auto skeleton = flags.getString("skeleton", "seq");
   Params params = examples::paramsFromFlags(flags);
@@ -30,4 +30,6 @@ int main(int argc, char** argv) {
   std::printf(" 0\n");
   examples::printMetrics(out);
   return 0;
+} catch (const std::exception& e) {
+  return examples::failMain(e);
 }

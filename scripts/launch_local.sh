@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
 # Launch N ranks of one example/bench binary as real OS processes wired over
-# loopback TCP (--transport tcp), the local stand-in for the paper's
-# `mpiexec -n N ...` cluster runs.
+# TCP (--transport tcp) - loopback by default, or across machines with
+# --hostfile. The local stand-in for the paper's `mpiexec -n N ...` cluster
+# runs; see docs/DEPLOYMENT.md for the multi-host recipe.
 #
 # Usage:
-#   scripts/launch_local.sh [-n N] [-p BASEPORT] [-o OUTDIR] -- <binary> [args...]
+#   scripts/launch_local.sh [-n N] [-p BASEPORT] [-o OUTDIR] [-t SECS]
+#                           [--hostfile FILE] -- <binary> [args...]
 #
-#   -n N         number of ranks/processes (default 2)
-#   -p BASEPORT  first TCP port; rank i listens on BASEPORT+i (default 9310)
+#   -n N         number of ranks/processes (default 2; ignored with
+#                --hostfile, where the file's line count sets N)
+#   -p BASEPORT  first TCP port; rank i listens on BASEPORT+i (default 9310;
+#                loopback mode only)
 #   -o OUTDIR    per-rank logs go to OUTDIR/rank-<i>.log (default: a fresh
 #                mktemp -d, printed on exit)
 #   -t SECS      per-rank watchdog; a rank still running after SECS is
-#                killed and the launch fails (default 300)
+#                killed and the launch fails naming that rank (default 300)
+#   --hostfile FILE
+#                one `host:port` per line, line i = rank i (blank lines and
+#                #-comments skipped). Ranks on 127.0.0.1/localhost run
+#                locally; any other host is launched over `ssh -o BatchMode`
+#                with the same working directory and command line, so the
+#                binary must exist at the same path on every host (shared
+#                filesystem or identical checkout; see docs/DEPLOYMENT.md).
 #
 # Every rank runs the identical command line plus --transport tcp --rank i
-# --peers 127.0.0.1:p0,...  Rank 0's stdout is echoed once all ranks exit.
-# Exits non-zero (and kills the stragglers) if any rank fails.
+# --peers host0:p0,...  Rank 0's stdout is echoed once all ranks exit.
+# Exits non-zero (and kills the stragglers) if any rank fails; the first
+# failure is reported with its rank, host and log so a dead or hung rank is
+# named, never silent.
 #
 # Example:
 #   scripts/launch_local.sh -n 2 -- \
@@ -27,6 +40,35 @@ N=2
 BASEPORT=9310
 OUTDIR=""
 TIMEOUT=300
+HOSTFILE=""
+
+usage() {
+  echo "usage: $0 [-n N] [-p BASEPORT] [-o OUTDIR] [-t SECS]" \
+       "[--hostfile FILE] -- binary args..." >&2
+  exit 2
+}
+
+# Long options (getopts cannot parse them): peel --hostfile off before the
+# getopts pass, stopping at the -- that starts the rank command line.
+pre=()
+while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+  case "$1" in
+    --hostfile)
+      [ $# -ge 2 ] || usage
+      HOSTFILE="$2"
+      shift 2
+      ;;
+    --hostfile=*)
+      HOSTFILE="${1#--hostfile=}"
+      shift
+      ;;
+    *)
+      pre+=("$1")
+      shift
+      ;;
+  esac
+done
+set -- ${pre[@]+"${pre[@]}"} "$@"
 
 while getopts "n:p:o:t:" opt; do
   case "$opt" in
@@ -34,20 +76,46 @@ while getopts "n:p:o:t:" opt; do
     p) BASEPORT="$OPTARG" ;;
     o) OUTDIR="$OPTARG" ;;
     t) TIMEOUT="$OPTARG" ;;
-    *) echo "usage: $0 [-n N] [-p BASEPORT] [-o OUTDIR] -- binary args..." >&2
-       exit 2 ;;
+    *) usage ;;
   esac
 done
 shift $((OPTIND - 1))
 [ "${1:-}" = "--" ] && shift
 
 if [ $# -lt 1 ]; then
-  echo "usage: $0 [-n N] [-p BASEPORT] [-o OUTDIR] -- binary args..." >&2
-  exit 2
+  usage
 fi
-if [ "$N" -lt 1 ]; then
-  echo "launch_local: -n must be >= 1" >&2
-  exit 2
+
+# Rank -> host:port. Loopback consecutive ports by default; with --hostfile,
+# exactly what the file says.
+declare -a HOSTS PORTS
+if [ -n "$HOSTFILE" ]; then
+  [ -r "$HOSTFILE" ] || { echo "launch_local: cannot read hostfile $HOSTFILE" >&2; exit 2; }
+  while IFS= read -r line || [ -n "$line" ]; do
+    line="${line%%#*}"
+    line="$(echo "$line" | tr -d '[:space:]')"
+    [ -z "$line" ] && continue
+    case "$line" in
+      *:*) ;;
+      *) echo "launch_local: hostfile line '$line' is not host:port" >&2; exit 2 ;;
+    esac
+    HOSTS+=("${line%:*}")
+    PORTS+=("${line##*:}")
+  done <"$HOSTFILE"
+  N=${#HOSTS[@]}
+  if [ "$N" -lt 1 ]; then
+    echo "launch_local: hostfile $HOSTFILE lists no ranks" >&2
+    exit 2
+  fi
+else
+  if [ "$N" -lt 1 ]; then
+    echo "launch_local: -n must be >= 1" >&2
+    exit 2
+  fi
+  for ((i = 0; i < N; i++)); do
+    HOSTS+=("127.0.0.1")
+    PORTS+=("$((BASEPORT + i))")
+  done
 fi
 
 if [ -z "$OUTDIR" ]; then
@@ -57,20 +125,40 @@ mkdir -p "$OUTDIR"
 
 PEERS=""
 for ((i = 0; i < N; i++)); do
-  PEERS+="${PEERS:+,}127.0.0.1:$((BASEPORT + i))"
+  PEERS+="${PEERS:+,}${HOSTS[$i]}:${PORTS[$i]}"
 done
+
+is_local_host() {
+  case "$1" in
+    127.*|localhost|"$(hostname)") return 0 ;;
+    *) return 1 ;;
+  esac
+}
 
 pids=()
 for ((i = 0; i < N; i++)); do
-  timeout --signal=TERM "$TIMEOUT" \
-    "$@" --transport tcp --rank "$i" --peers "$PEERS" \
-    >"$OUTDIR/rank-$i.log" 2>&1 &
+  if is_local_host "${HOSTS[$i]}"; then
+    timeout --signal=TERM "$TIMEOUT" \
+      "$@" --transport tcp --rank "$i" --peers "$PEERS" \
+      >"$OUTDIR/rank-$i.log" 2>&1 &
+  else
+    # Remote rank: same working directory, same command line, launched over
+    # a non-interactive ssh. %q-quote every word so arguments with spaces
+    # survive the remote shell.
+    remote_cmd="cd $(printf '%q' "$PWD") && $(printf '%q ' "$@")"
+    remote_cmd+="--transport tcp --rank $i --peers $PEERS"
+    timeout --signal=TERM "$TIMEOUT" \
+      ssh -o BatchMode=yes "${HOSTS[$i]}" "$remote_cmd" \
+      >"$OUTDIR/rank-$i.log" 2>&1 &
+  fi
   pids+=($!)
 done
 
-# Reap ranks as they exit. The first failure kills the survivors at once:
+# Reap ranks as they exit. The first failure kills the survivors at once -
 # a dead rank strands its siblings in connect/termination waits, and there
-# is no point sitting through their watchdogs.
+# is no point sitting through their watchdogs - and is reported by rank and
+# host, so the dead rank is always named. timeout(1) exits 124 when the
+# watchdog fired: that rank hung rather than died.
 status=0
 remaining=$N
 declare -a reaped
@@ -86,7 +174,11 @@ while [ "$remaining" -gt 0 ]; do
       progressed=1
       if [ "$rc" -ne 0 ]; then
         if [ "$status" -eq 0 ]; then
-          echo "launch_local: rank $i exited non-zero (rc=$rc, log: $OUTDIR/rank-$i.log)" >&2
+          if [ "$rc" -eq 124 ]; then
+            echo "launch_local: rank $i (${HOSTS[$i]}:${PORTS[$i]}) hit the ${TIMEOUT}s watchdog and was killed as hung (log: $OUTDIR/rank-$i.log)" >&2
+          else
+            echo "launch_local: rank $i (${HOSTS[$i]}:${PORTS[$i]}) exited non-zero (rc=$rc, log: $OUTDIR/rank-$i.log)" >&2
+          fi
           kill "${pids[@]}" 2>/dev/null || true
         fi
         status=1
@@ -98,7 +190,7 @@ done
 
 if [ "$status" -ne 0 ]; then
   for ((i = 0; i < N; i++)); do
-    echo "--- rank $i log ---" >&2
+    echo "--- rank $i (${HOSTS[$i]}:${PORTS[$i]}) log ---" >&2
     cat "$OUTDIR/rank-$i.log" >&2 || true
   done
   exit "$status"

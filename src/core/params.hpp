@@ -104,6 +104,11 @@ struct Params {
   int rank = 0;
   std::vector<std::string> peers;
 
+  // Tcp only (--peer-timeout-ms): a peer silent for this long mid-run is
+  // declared dead and the whole job aborts instead of hanging (see
+  // rt::TcpConfig::peerTimeout). 0 disables failure detection.
+  std::uint64_t peerTimeoutMs = 30000;
+
   // Safety cap on processed nodes per search, 0 = unlimited. When hit, the
   // search drains without expanding further and the outcome is flagged
   // incomplete. Used by tests and parameter sweeps, never by default.

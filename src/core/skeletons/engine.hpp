@@ -26,6 +26,7 @@
 #include "runtime/network.hpp"
 #include "runtime/steal_slot.hpp"
 #include "runtime/trace.hpp"
+#include "runtime/transport/shaping.hpp"
 #include "runtime/transport/tcp.hpp"
 #include "runtime/termination.hpp"
 #include "runtime/worker_team.hpp"
@@ -484,12 +485,25 @@ struct Engine {
     rt::TcpConfig tc;
     tc.rank = p.rank;
     tc.peers = p.peers;
+    tc.peerTimeout = std::chrono::milliseconds(p.peerTimeoutMs);
     // Constructing the transport establishes the full mesh (handshake with
-    // every peer) before any search state exists: the start barrier.
-    rt::TcpTransport net(tc);
+    // every peer) before any search state exists: the start barrier. The
+    // shaping layer wraps the raw socket backend so TCP ranks get the same
+    // batching, back-pressure and per-link accounting as the simulated
+    // fabric (docs/ARCHITECTURE.md "Network model").
+    rt::TcpTransport tcpNet(tc);
+    rt::ShapedTransport net(tcpNet, p.effectiveNet());
 
     auto spaceBytes = toBytes(space);
     Ctx ctx(net, p.rank, p, spaceBytes);
+
+    // First peer declared dead, if any. The transport reports a death at
+    // most once per peer from one of its own threads; we keep the first and
+    // abort the local search - every surviving rank notices the dead peer
+    // on its own link, so no cross-rank coordination is needed.
+    rt::Mutex failMtx;
+    int deadRank = -1;
+    std::string deadWhy;
 
     // Rank 0 collects one GatherMsg per peer once the search terminates.
     // Registered before start() so a fast peer cannot race the handler.
@@ -521,6 +535,22 @@ struct Engine {
             traceBatches.push_back(std::move(b));
           });
     }
+
+    // Fired from a transport thread when a peer goes silent past
+    // --peer-timeout-ms (or its link breaks outright): record the first
+    // death, abort the local search so the workers drain out, and wake a
+    // rank 0 blocked waiting for gather replies that will never come.
+    net.onPeerFailure([&](int peer, const std::string& why) {
+      {
+        rt::LockGuard lock(failMtx);
+        if (deadRank < 0) {
+          deadRank = peer;
+          deadWhy = why;
+        }
+      }
+      ctx.term().abort();
+      gatherCv.notify_all();
+    });
 
     ctx.locality().start();
     if (p.rank == 0) {
@@ -556,6 +586,25 @@ struct Engine {
       rt::trace::Sampler::writeCsv(csv, sampler.takeRows());
     }
 
+    // A dead peer aborts the whole job: the failure callback already
+    // drained the workers; exit non-zero naming the dead rank instead of
+    // exchanging gather messages with a mesh that lost a member.
+    {
+      int dr = -1;
+      std::string dw;
+      {
+        rt::LockGuard lock(failMtx);
+        dr = deadRank;
+        dw = deadWhy;
+      }
+      if (dr >= 0) {
+        ctx.locality().stop();
+        net.shutdown();
+        throw rt::TransportError("aborting: rank " + std::to_string(dr) +
+                                 " died (" + dw + ")");
+      }
+    }
+
     Out out;
     if (p.rank == 0) {
       if (world > 1) {
@@ -564,6 +613,12 @@ struct Engine {
         rt::UniqueLock lock(gatherMtx);
         const auto deadline = std::chrono::steady_clock::now() + kGatherTimeout;
         while (static_cast<int>(gathered.size()) != world - 1) {
+          {
+            // A peer declared dead mid-gather will never reply; give up
+            // now instead of sitting out the full gather timeout.
+            rt::LockGuard fl(failMtx);
+            if (deadRank >= 0) break;
+          }
           if (gatherCv.wait_until(lock.native(), deadline) ==
               std::cv_status::timeout) {
             break;
@@ -571,10 +626,19 @@ struct Engine {
         }
         const bool all = static_cast<int>(gathered.size()) == world - 1;
         if (!all) {
-          throw rt::TransportError(
-              "gather: received " + std::to_string(gathered.size()) +
-              " of " + std::to_string(world - 1) +
-              " per-rank results (peer died?)");
+          std::string msg = "gather: received " +
+                            std::to_string(gathered.size()) + " of " +
+                            std::to_string(world - 1) + " per-rank results";
+          {
+            rt::LockGuard fl(failMtx);
+            if (deadRank >= 0) {
+              msg += "; rank " + std::to_string(deadRank) + " died (" +
+                     deadWhy + ")";
+            } else {
+              msg += " (peer died?)";
+            }
+          }
+          throw rt::TransportError(msg);
         }
       }
       out = mergeGather(p, ctx, gathered, timer.elapsedSeconds(), net);
@@ -683,6 +747,7 @@ struct Engine {
     m.networkBatched = net.batchedMessages();
     m.networkImmediate = net.immediateMessages();
     m.networkSpills = net.spilledMessages();
+    m.networkHeartbeats = net.heartbeatsSent();
     m.linkQueueHighWater = net.queueHighWater();
     m.netLatencyHist = net.latencyHistogram();
   }

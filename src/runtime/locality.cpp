@@ -32,7 +32,21 @@ void Locality::managerLoop() {
   using namespace std::chrono_literals;
   trace::nameThread("L" + std::to_string(id_) + ".mgr");
   while (true) {
-    auto msg = net_.recvWait(id_, 500us);
+    std::optional<Message> msg;
+    try {
+      msg = net_.recvWait(id_, 500us);
+    } catch (const ArchiveError& e) {
+      // The shaping layer decodes tag::kBatchedFrame containers inside
+      // recvWait; a corrupt container must surface as a dropped frame,
+      // never terminate the rank (same contract as the handler catch
+      // below). Handshake guards make this unreachable for same-build
+      // meshes.
+      std::fprintf(stderr,
+                   "yewpar: locality %d: dropping malformed batched frame: "
+                   "%s\n",
+                   id_, e.what());
+      continue;
+    }
     if (!msg) continue;
     if (msg->tag == tag::kShutdownManager) return;
     // The handler is copied out under the map lock and invoked without it:

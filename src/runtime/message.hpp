@@ -23,6 +23,11 @@ inline constexpr int kShutdownManager = 1;   // stop a locality's manager loop
 inline constexpr int kSnapshotRequest = 2;   // termination: leader -> all
 inline constexpr int kSnapshotReply = 3;     // termination: all -> leader
 inline constexpr int kTerminate = 4;         // termination: leader -> all
+inline constexpr int kBatchedFrame = 5;      // shaping: several messages as
+                                             // one wire frame (container
+                                             // decoded by ShapedTransport)
+inline constexpr int kHeartbeat = 6;         // tcp: idle keep-alive, consumed
+                                             // by the link itself
 inline constexpr int kBoundUpdate = 10;      // knowledge: broadcast bound
 inline constexpr int kPoolStealRequest = 11; // workpool: idle loc -> victim
 inline constexpr int kPoolStealReply = 12;   // workpool: task chunk or nack

@@ -66,6 +66,10 @@ struct MetricsSnapshot {
   // Messages shed to a spill list because their link was at --net-queue-cap
   // (back-pressure events; they are delivered later, never lost).
   std::uint64_t networkSpills = 0;
+  // Idle-link liveness probes written by the TCP backend (--peer-timeout-ms);
+  // always 0 on the simulated backend (threads in one process cannot die
+  // separately). Never counted in networkMessages/Frames/Bytes.
+  std::uint64_t networkHeartbeats = 0;
   // Highest in-flight queue depth observed on any single link.
   std::uint64_t linkQueueHighWater = 0;
   // Histogram of modelled one-way latencies (see netLatencyBucketFor).
@@ -115,6 +119,7 @@ struct MetricsSnapshot {
     networkBatched += o.networkBatched;
     networkImmediate += o.networkImmediate;
     networkSpills += o.networkSpills;
+    networkHeartbeats += o.networkHeartbeats;
     // A high-water mark, not a volume: combining snapshots keeps the max.
     if (o.linkQueueHighWater > linkQueueHighWater) {
       linkQueueHighWater = o.linkQueueHighWater;
@@ -131,7 +136,7 @@ struct MetricsSnapshot {
       << remoteSteals << failedSteals << stealReplies << boundBroadcasts
       << boundUpdatesApplied << networkMessages << networkBytes
       << networkFrames << networkBatched << networkImmediate << networkSpills
-      << linkQueueHighWater;
+      << networkHeartbeats << linkQueueHighWater;
     for (auto c : netLatencyHist) a << c;
   }
   void load(IArchive& a) {
@@ -139,7 +144,7 @@ struct MetricsSnapshot {
         localSteals >> remoteSteals >> failedSteals >> stealReplies >>
         boundBroadcasts >> boundUpdatesApplied >> networkMessages >>
         networkBytes >> networkFrames >> networkBatched >> networkImmediate >>
-        networkSpills >> linkQueueHighWater;
+        networkSpills >> networkHeartbeats >> linkQueueHighWater;
     for (auto& c : netLatencyHist) a >> c;
   }
 };

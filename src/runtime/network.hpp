@@ -2,8 +2,10 @@
 
 // Compatibility shim: the simulated fabric moved behind the Transport
 // interface as rt::InProcTransport (runtime/transport/inproc.hpp) when the
-// real multi-process TCP backend landed. Existing code and tests keep using
-// the rt::Network name for the in-process backend.
+// real multi-process TCP backend landed; it is now a facade bundling the
+// bare InProcFabric wire with the backend-generic ShapedTransport
+// (runtime/transport/shaping.hpp). Existing code and tests keep using the
+// rt::Network name for the in-process backend.
 
 #include "runtime/transport/inproc.hpp"
 

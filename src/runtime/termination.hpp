@@ -59,6 +59,16 @@ class TerminationDetector {
   // True once the leader has decided global termination.
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
+  // Abort the search from outside the protocol (a peer was declared dead):
+  // mark it finished locally so the workers and the leader poll loop exit.
+  // Safe from any thread, including transport callbacks; every surviving
+  // rank aborts itself via its own failure detection, so no cross-rank
+  // message is needed (nor possible - the mesh just lost a member).
+  void abort() {
+    finished_.store(true, std::memory_order_release);
+    poll_.cv.notify_all();
+  }
+
   // Leader only: start the polling thread. Call only after at least one task
   // has been counted created (the root), otherwise the initial 0 == 0 state
   // would be indistinguishable from completion.

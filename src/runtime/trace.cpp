@@ -189,6 +189,8 @@ const char* evName(Ev k) {
       return "frame-send";
     case Ev::kFrameRecv:
       return "frame-recv";
+    case Ev::kPeerDead:
+      return "peer-dead";
   }
   return "event";
 }
@@ -403,6 +405,16 @@ void writeChromeJson(const std::string& path,
                      "\"transport\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
                      "\"args\":{\"peer\":%" PRIu64 ",\"size\":%" PRIu64 "}}",
                      name, pid, tid, tsUs, e.a, e.b);
+        break;
+      case Ev::kPeerDead:
+        // Process-scoped instant: a rank-failure verdict is about the whole
+        // job, not one thread's timeline.
+        sep();
+        std::fprintf(f,
+                     "{\"ph\":\"i\",\"s\":\"p\",\"name\":\"%s\",\"cat\":"
+                     "\"transport\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                     "\"args\":{\"dead_rank\":%" PRIu64 "}}",
+                     name, pid, tid, tsUs, e.a);
         break;
       default:
         // Local steal events and anything future-added: generic instant.

@@ -61,6 +61,7 @@ enum class Ev : std::uint16_t {
   kTermProbe = 15,      // leader: a=round, b=outstanding (created-completed)
   kFrameSend = 16,      // a=destination rank, b=messages in the frame
   kFrameRecv = 17,      // a=source rank, b=payload bytes
+  kPeerDead = 18,       // a=rank declared dead (tcp failure detection)
 };
 
 // One fixed-size binary record. Plain data; serialized field-by-field via

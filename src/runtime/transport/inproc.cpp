@@ -2,138 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cmath>
-#include <cstdlib>
-#include <stdexcept>
 
 #include "runtime/trace.hpp"
 
 namespace yewpar::rt {
 
-// ---- DelayModel ----------------------------------------------------------
+// ---- InProcFabric --------------------------------------------------------
 
-double DelayModel::sampleMicros(Rng& rng) const {
-  switch (kind) {
-    case Kind::None:
-      return 0.0;
-    case Kind::Fixed:
-      return std::min(a, kMaxDelayMicros);
-    case Kind::Uniform:
-      return std::min(a + (b - a) * rng.uniform(), kMaxDelayMicros);
-    case Kind::Lognormal: {
-      // Box-Muller from two uniforms; nudge u1 away from 0 so log() is
-      // finite. exp(m + s*z) keeps the sample strictly positive with the
-      // heavy right tail the model is for; the ceiling keeps an extreme
-      // tail draw (or a silly log-mean) finite and castable.
-      const double u1 = std::max(rng.uniform(), 1e-12);
-      const double u2 = rng.uniform();
-      const double z = std::sqrt(-2.0 * std::log(u1)) *
-                       std::cos(2.0 * 3.141592653589793 * u2);
-      return std::min(std::exp(a + b * z), kMaxDelayMicros);
-    }
-  }
-  return 0.0;
-}
-
-namespace {
-
-// Parse a double strictly: the whole of `s` must be consumed, and the
-// value must be finite (strtod accepts "nan"/"inf", which would poison the
-// delay arithmetic and the int64 cast in enqueueLocked).
-double parseDouble(const std::string& s, const std::string& spec) {
-  const char* begin = s.c_str();
-  char* end = nullptr;
-  const double v = std::strtod(begin, &end);
-  if (end == begin || *end != '\0' || !std::isfinite(v)) {
-    throw std::invalid_argument("bad number '" + s + "' in delay model: " +
-                                spec);
-  }
-  return v;
-}
-
-// Split "a,b" after the colon of "uniform:a,b" / "lognormal:m,s".
-std::pair<double, double> parsePair(const std::string& args,
-                                    const std::string& spec) {
-  const auto comma = args.find(',');
-  if (comma == std::string::npos) {
-    throw std::invalid_argument("delay model needs two comma-separated "
-                                "values: " + spec);
-  }
-  return {parseDouble(args.substr(0, comma), spec),
-          parseDouble(args.substr(comma + 1), spec)};
-}
-
-}  // namespace
-
-DelayModel DelayModel::parse(const std::string& spec) {
-  DelayModel m;
-  if (spec == "none") return m;
-  if (spec.rfind("fixed:", 0) == 0) {
-    m.kind = Kind::Fixed;
-    m.a = parseDouble(spec.substr(6), spec);
-    if (m.a < 0) {
-      throw std::invalid_argument("fixed delay must be >= 0 us: " + spec);
-    }
-    return m;
-  }
-  if (spec.rfind("uniform:", 0) == 0) {
-    m.kind = Kind::Uniform;
-    std::tie(m.a, m.b) = parsePair(spec.substr(8), spec);
-    if (m.a < 0 || m.b < m.a) {
-      throw std::invalid_argument(
-          "uniform delay needs 0 <= a <= b us: " + spec);
-    }
-    return m;
-  }
-  if (spec.rfind("lognormal:", 0) == 0) {
-    m.kind = Kind::Lognormal;
-    std::tie(m.a, m.b) = parsePair(spec.substr(10), spec);
-    if (m.b < 0) {
-      throw std::invalid_argument(
-          "lognormal delay needs sigma >= 0: " + spec);
-    }
-    return m;
-  }
-  throw std::invalid_argument(
-      "unknown delay model: " + spec +
-      " (expected none|fixed:us|uniform:a,b|lognormal:m,s)");
-}
-
-namespace {
-
-std::string trimmedDouble(double v) {
-  std::string s = std::to_string(v);
-  while (!s.empty() && s.back() == '0') s.pop_back();
-  if (!s.empty() && s.back() == '.') s.pop_back();
-  return s;
-}
-
-}  // namespace
-
-std::string DelayModel::name() const {
-  switch (kind) {
-    case Kind::None: return "none";
-    case Kind::Fixed: return "fixed:" + trimmedDouble(a);
-    case Kind::Uniform:
-      return "uniform:" + trimmedDouble(a) + "," + trimmedDouble(b);
-    case Kind::Lognormal:
-      return "lognormal:" + trimmedDouble(a) + "," + trimmedDouble(b);
-  }
-  return "?";
-}
-
-// ---- InProcTransport -------------------------------------------------------------
-
-InProcTransport::InProcTransport(int nLocalities, NetConfig cfg)
+InProcFabric::InProcFabric(int nLocalities, NetConfig cfg)
     : n_(nLocalities), cfg_(cfg) {
   assert(nLocalities >= 1);
-  if (cfg_.batchSize == 0) cfg_.batchSize = 1;
   const auto n = static_cast<std::size_t>(n_);
   links_.reserve(n * n);
   for (std::size_t i = 0; i < n * n; ++i) {
     links_.push_back(std::make_unique<Link>());
-    links_.back()->src = static_cast<int>(i / n);
-    links_.back()->dst = static_cast<int>(i % n);
     // Uncontended (no other thread can see the link yet); taken so the
     // guarded-field discipline holds even during construction.
     LockGuard lock(links_.back()->mtx);
@@ -145,113 +27,57 @@ InProcTransport::InProcTransport(int nLocalities, NetConfig cfg)
   }
 }
 
-InProcTransport::InProcTransport(int nLocalities, double delayMicros)
-    : InProcTransport(nLocalities, [&] {
-        NetConfig c;
-        if (delayMicros > 0) {
-          c.delay = DelayModel{DelayModel::Kind::Fixed, delayMicros, 0.0};
-        }
-        return c;
-      }()) {}
-
-void InProcTransport::enqueueLocked(Link& l, Message m, Clock::time_point now,
-                            Clock::time_point sentAt) {
+void InProcFabric::enqueueLocked(Link& l, Message m, Clock::time_point now) {
   const auto delay = std::chrono::microseconds(
       static_cast<std::int64_t>(cfg_.delay.sampleMicros(l.delayRng)));
   auto deliverAt = now + delay;
   // FIFO per link: never deliver before a predecessor on the same link.
   if (deliverAt < l.fifoFloor) deliverAt = l.fifoFloor;
   l.fifoFloor = deliverAt;
-  // Modelled latency since the message hit layer 2: the sampled delay plus
-  // any FIFO clamp and (for promoted spills) the congestion wait.
+  // Modelled latency: the sampled delay plus any FIFO clamp. Congestion
+  // waits (shed-to-spill) are charged by the shaping layer, not here.
   const auto latencyUs = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(deliverAt -
-                                                            sentAt)
+      std::chrono::duration_cast<std::chrono::microseconds>(deliverAt - now)
           .count());
   l.latency[static_cast<std::size_t>(netLatencyBucketFor(latencyUs))] += 1;
   l.queue.push_back(Pending{deliverAt, std::move(m)});
-  if (l.queue.size() > l.queueHighWater) l.queueHighWater = l.queue.size();
 }
 
-void InProcTransport::flushLocked(Link& l, Clock::time_point now) {
-  if (l.buffer.empty()) return;
-  l.frames.fetch_add(1, std::memory_order_relaxed);
-  trace::record(trace::Ev::kFrameSend, l.src,
-                static_cast<std::uint64_t>(l.dst), l.buffer.size());
-  if (l.buffer.size() >= 2) {
-    l.batched.fetch_add(l.buffer.size(), std::memory_order_relaxed);
-  } else {
-    l.immediate.fetch_add(1, std::memory_order_relaxed);
-  }
-  for (auto& m : l.buffer) {
-    if (cfg_.queueCap != 0 && l.queue.size() >= cfg_.queueCap) {
-      // Back-pressure: shed to the spill list rather than block (a blocked
-      // manager thread could deadlock a steal request/reply cycle) or drop.
-      l.spilled.fetch_add(1, std::memory_order_relaxed);
-      l.spill.push_back(Spilled{now, std::move(m)});
-    } else {
-      enqueueLocked(l, std::move(m), now, now);
-    }
-  }
-  l.buffer.clear();
-}
-
-void InProcTransport::drainSpillLocked(Link& l, Clock::time_point now) {
-  while (!l.spill.empty() &&
-         (cfg_.queueCap == 0 || l.queue.size() < cfg_.queueCap)) {
-    Spilled s = std::move(l.spill.front());
-    l.spill.pop_front();
-    enqueueLocked(l, std::move(s.msg), now, s.spilledAt);
-  }
-}
-
-void InProcTransport::send(Message m) {
+void InProcFabric::send(Message m) {
   assert(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_);
   const int dst = m.dst;
   const auto now = Clock::now();
   Link& l = link(m.src, dst);
   {
     LockGuard lock(l.mtx);
-    l.messages.fetch_add(1, std::memory_order_relaxed);
-    l.bytes.fetch_add(m.payload.size(), std::memory_order_relaxed);
     if (m.src == dst) {
-      // Loopback (e.g. the manager shutdown nudge): no batching, no cap, no
-      // modelled delay - it must arrive even on a congested fabric.
-      l.frames.fetch_add(1, std::memory_order_relaxed);
-      l.immediate.fetch_add(1, std::memory_order_relaxed);
-      trace::record(trace::Ev::kFrameSend, l.src,
-                    static_cast<std::uint64_t>(l.dst), 1);
+      // Loopback: no modelled delay - it must arrive even on a slow fabric.
       l.queue.push_back(Pending{now, std::move(m)});
-      if (l.queue.size() > l.queueHighWater) {
-        l.queueHighWater = l.queue.size();
-      }
     } else {
-      if (l.buffer.empty()) l.flushDue = now + cfg_.flushAfter;
-      l.buffer.push_back(std::move(m));
-      if (l.buffer.size() >= cfg_.batchSize) flushLocked(l, now);
+      enqueueLocked(l, std::move(m), now);
     }
   }
   notifyInbox(dst);
 }
 
-void InProcTransport::broadcast(int src, int tagId,
-                        const std::vector<std::uint8_t>& payload) {
-  for (int dst = 0; dst < n_; ++dst) {
-    if (dst == src) continue;
-    send(Message{src, dst, tagId, payload});
-  }
-}
-
-void InProcTransport::flushAll() {
+void InProcFabric::sendFrame(std::vector<Message> frame) {
+  if (frame.empty()) return;
+  const int dst = frame.front().dst;
+  const int src = frame.front().src;
+  assert(src >= 0 && src < n_ && dst >= 0 && dst < n_);
   const auto now = Clock::now();
-  for (auto& lp : links_) {
-    LockGuard lock(lp->mtx);
-    flushLocked(*lp, now);
+  Link& l = link(src, dst);
+  {
+    LockGuard lock(l.mtx);
+    for (auto& m : frame) {
+      assert(m.src == src && m.dst == dst);
+      enqueueLocked(l, std::move(m), now);
+    }
   }
-  for (int dst = 0; dst < n_; ++dst) notifyInbox(dst);
+  notifyInbox(dst);
 }
 
-std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) {
+std::optional<Message> InProcFabric::pollNow(int loc, Clock::time_point now) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
   int start;
   {
@@ -263,12 +89,9 @@ std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) 
     const int src = (start + i) % n_;
     Link& l = link(src, loc);
     LockGuard lock(l.mtx);
-    if (!l.buffer.empty() && l.flushDue <= now) flushLocked(l, now);
-    drainSpillLocked(l, now);
     if (!l.queue.empty() && l.queue.front().deliverAt <= now) {
       Message m = std::move(l.queue.front().msg);
       l.queue.pop_front();
-      drainSpillLocked(l, now);
       trace::record(trace::Ev::kFrameRecv, loc,
                     static_cast<std::uint64_t>(src), m.payload.size());
       return m;
@@ -277,16 +100,15 @@ std::optional<Message> InProcTransport::pollNow(int loc, Clock::time_point now) 
   return std::nullopt;
 }
 
-std::optional<Message> InProcTransport::tryRecv(int loc) {
+std::optional<Message> InProcFabric::tryRecv(int loc) {
   return pollNow(loc, Clock::now());
 }
 
-InProcTransport::Clock::time_point InProcTransport::nextEventTime(int loc) {
+InProcFabric::Clock::time_point InProcFabric::nextEventTime(int loc) {
   auto next = Clock::time_point::max();
   for (int src = 0; src < n_; ++src) {
     Link& l = link(src, loc);
     LockGuard lock(l.mtx);
-    if (!l.buffer.empty() && l.flushDue < next) next = l.flushDue;
     if (!l.queue.empty() && l.queue.front().deliverAt < next) {
       next = l.queue.front().deliverAt;
     }
@@ -294,8 +116,8 @@ InProcTransport::Clock::time_point InProcTransport::nextEventTime(int loc) {
   return next;
 }
 
-std::optional<Message> InProcTransport::recvWait(int loc,
-                                         std::chrono::microseconds timeout) {
+std::optional<Message> InProcFabric::recvWait(
+    int loc, std::chrono::microseconds timeout) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(loc)];
   const auto deadline = Clock::now() + timeout;
   for (;;) {
@@ -307,10 +129,10 @@ std::optional<Message> InProcTransport::recvWait(int loc,
     auto now = Clock::now();
     if (auto m = pollNow(loc, now)) return m;
     if (now >= deadline) return std::nullopt;
-    // Sleep until a sender bumps the version, the next known event (batch
-    // deadline or in-flight delivery) matures, or the caller's deadline.
-    // Explicit predicate loop (not a wait lambda) so the thread-safety
-    // analysis sees box.version read with box.mtx held.
+    // Sleep until a sender bumps the version, the next queued delivery
+    // matures, or the caller's deadline. Explicit predicate loop (not a
+    // wait lambda) so the thread-safety analysis sees box.version read with
+    // box.mtx held.
     const auto wake = std::min(deadline, nextEventTime(loc));
     UniqueLock lk(box.mtx);
     while (box.version == ver) {
@@ -321,7 +143,7 @@ std::optional<Message> InProcTransport::recvWait(int loc,
   }
 }
 
-void InProcTransport::notifyInbox(int dst) {
+void InProcFabric::notifyInbox(int dst) {
   Inbox& box = *inboxes_[static_cast<std::size_t>(dst)];
   {
     LockGuard g(box.mtx);
@@ -330,67 +152,31 @@ void InProcTransport::notifyInbox(int dst) {
   box.cv.notify_all();
 }
 
-// ---- accounting ----------------------------------------------------------
-
-std::uint64_t InProcTransport::sumLinks(
-    std::atomic<std::uint64_t> Link::*counter) const {
+std::uint64_t InProcFabric::queuedMessagesNow() const {
   std::uint64_t total = 0;
   for (const auto& l : links_) {
-    total += ((*l).*counter).load(std::memory_order_relaxed);
+    LockGuard lock(l->mtx);
+    total += l->queue.size();
   }
   return total;
 }
 
-std::uint64_t InProcTransport::messagesSent() const {
-  return sumLinks(&Link::messages);
-}
-
-std::uint64_t InProcTransport::bytesSent() const { return sumLinks(&Link::bytes); }
-
-std::uint64_t InProcTransport::framesSent() const { return sumLinks(&Link::frames); }
-
-std::uint64_t InProcTransport::batchedMessages() const {
-  return sumLinks(&Link::batched);
-}
-
-std::uint64_t InProcTransport::immediateMessages() const {
-  return sumLinks(&Link::immediate);
-}
-
-std::uint64_t InProcTransport::spilledMessages() const {
-  return sumLinks(&Link::spilled);
-}
-
-std::size_t InProcTransport::queueHighWater() const {
-  std::size_t hw = 0;
-  for (const auto& l : links_) {
-    LockGuard lock(l->mtx);
-    hw = std::max(hw, l->queueHighWater);
-  }
-  return hw;
-}
-
-std::uint64_t InProcTransport::queuedMessagesNow() const {
-  std::uint64_t total = 0;
-  for (const auto& l : links_) {
-    LockGuard lock(l->mtx);
-    total += l->buffer.size() + l->queue.size() + l->spill.size();
-  }
-  return total;
-}
-
-std::uint64_t InProcTransport::maxLinkQueueNow() const {
+std::uint64_t InProcFabric::maxLinkQueueNow() const {
   std::uint64_t deepest = 0;
   for (const auto& l : links_) {
     LockGuard lock(l->mtx);
-    const std::uint64_t depth =
-        l->buffer.size() + l->queue.size() + l->spill.size();
-    if (depth > deepest) deepest = depth;
+    if (l->queue.size() > deepest) deepest = l->queue.size();
   }
   return deepest;
 }
 
-std::array<std::uint64_t, kNetLatencyBuckets> InProcTransport::latencyHistogram()
+std::uint64_t InProcFabric::linkBacklogNow(int src, int dst) const {
+  const Link& l = link(src, dst);
+  LockGuard lock(l.mtx);
+  return l.queue.size();
+}
+
+std::array<std::uint64_t, kNetLatencyBuckets> InProcFabric::latencyHistogram()
     const {
   std::array<std::uint64_t, kNetLatencyBuckets> out{};
   for (const auto& l : links_) {
@@ -401,22 +187,6 @@ std::array<std::uint64_t, kNetLatencyBuckets> InProcTransport::latencyHistogram(
     }
   }
   return out;
-}
-
-InProcTransport::LinkStats InProcTransport::linkStats(int src, int dst) const {
-  const Link& l = link(src, dst);
-  LinkStats s;
-  s.messages = l.messages.load(std::memory_order_relaxed);
-  s.bytes = l.bytes.load(std::memory_order_relaxed);
-  s.frames = l.frames.load(std::memory_order_relaxed);
-  s.batched = l.batched.load(std::memory_order_relaxed);
-  s.immediate = l.immediate.load(std::memory_order_relaxed);
-  s.spilled = l.spilled.load(std::memory_order_relaxed);
-  {
-    LockGuard lock(l.mtx);
-    s.queueHighWater = l.queueHighWater;
-  }
-  return s;
 }
 
 }  // namespace yewpar::rt

@@ -4,40 +4,32 @@
 //
 // This is the distributed-memory substitution described in
 // docs/ARCHITECTURE.md ("Transport layer"): the paper runs YewPar over HPX
-// on a Beowulf cluster; this backend runs N
-// localities inside one process, but all inter-locality communication goes
-// through the Transport interface as serialized byte messages. The fabric is
-// layered per directed link (src, dst), modelling the cost structure of a
-// real interconnect rather than a single lock per send:
+// on a Beowulf cluster; this backend runs N localities inside one process,
+// but all inter-locality communication goes through the Transport interface
+// as serialized byte messages.
 //
-//   layer 1 - send buffer with batch flush. Messages accumulate in a
-//     per-link buffer and move to the wire as one *frame* when the buffer
-//     reaches NetConfig::batchSize or the oldest buffered message has waited
-//     NetConfig::flushAfter (size- and deadline-triggered flush). batchSize
-//     1 is the unbatched baseline: every send is its own frame.
-//   layer 2 - bounded in-flight queue with back-pressure. At most
-//     NetConfig::queueCap messages per link are "on the wire" at once; a
-//     flush into a full link sheds the overflow to an unbounded spill list
-//     instead of blocking (the manager thread sends steal replies, so a
-//     blocking send could deadlock a request/reply cycle). Spilled messages
-//     are promoted in FIFO order as deliveries free queue slots, so
-//     congestion shows up as added latency, never as loss or deadlock.
-//   layer 3 - per-link delay distribution. Entering the in-flight queue
-//     samples a delivery delay from NetConfig::delay (seeded per link, so
-//     runs are reproducible) and the message becomes receivable only once
-//     the delay elapses. Delivery per (src, dst) pair stays FIFO, like a
-//     TCP-backed transport: each message's delivery time is clamped to be
-//     no earlier than its link predecessor's.
+// Since the shaping layers moved to transport/shaping.hpp (so the TCP
+// backend shares them), this file holds two pieces:
+//
+//   * InProcFabric - the bare simulated wire. One bounded-FIFO in-flight
+//     queue per directed (src, dst) link, with a per-message delivery delay
+//     sampled from NetConfig::delay (seeded per link, so runs are
+//     reproducible). Delivery per link stays FIFO, like a TCP stream: each
+//     message's delivery time is clamped to be no earlier than its link
+//     predecessor's. The fabric does no batching and no back-pressure and
+//     keeps no traffic counters - that is all ShapedTransport's job.
+//   * InProcTransport - the facade the engine and tests construct: an
+//     InProcFabric wrapped in a ShapedTransport, preserving the historical
+//     behaviour (send-buffer batch flush, bounded in-flight queues with
+//     shed-to-spill, per-link counters) with the shaping logic now backend-
+//     generic.
 //
 // Self-sends (src == dst, e.g. the manager shutdown nudge) are loopback:
-// they bypass batching, the cap, and the delay model.
+// they bypass the delay model here and bypass batching/caps in the shaper.
 //
-// Receivers drive the clock: tryRecv/recvWait flush overdue batches and
-// promote spilled messages on the links into their locality, so a batch can
-// never strand once the destination polls (the manager loop polls every
-// 500us). All counters are per-link atomics summed on demand - per-
-// destination tallies updated outside the link lock raced with the batch
-// flush path, see test_network.cpp.
+// Receivers drive the clock: the shaper's tryRecv/recvWait flush overdue
+// batches and promote spilled messages, then poll the fabric, whose own
+// receive path pops messages whose modelled delay has matured.
 
 #include <array>
 #include <atomic>
@@ -52,141 +44,60 @@
 
 #include "runtime/message.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/transport/shaping.hpp"
 #include "runtime/transport/transport.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
 
-// Per-link one-way delay distribution (`--net-delay`), sampled per message
-// in microseconds. Parsed from:
-//   none           no simulated latency (a == b == 0)
-//   fixed:us       constant delay of `us` microseconds
-//   uniform:a,b    uniform in [a, b] microseconds
-//   lognormal:m,s  exp(Normal(m, s)) microseconds: a long right tail, the
-//                  classic model for congested-datacentre RTTs
-struct DelayModel {
-  enum class Kind : std::uint8_t { None, Fixed, Uniform, Lognormal };
-
-  // Every sample is capped here (~8.4 s, the latency histogram's ceiling):
-  // a heavy lognormal tail draw must stay finite and castable, not stall
-  // the simulation for hours.
-  static constexpr double kMaxDelayMicros = 8'388'608.0;  // 2^23 us
-
-  Kind kind = Kind::None;
-  double a = 0.0;  // Fixed: delay; Uniform: lower bound; Lognormal: log-mean
-  double b = 0.0;  // Uniform: upper bound; Lognormal: log-sigma
-
-  // Sample one delay in microseconds in [0, kMaxDelayMicros]. Deterministic
-  // given the Rng state, so seeded runs reproduce their delivery schedule.
-  double sampleMicros(Rng& rng) const;
-
-  // Parse the `--net-delay` spec above; throws std::invalid_argument.
-  static DelayModel parse(const std::string& spec);
-
-  // Printable round-trip of parse() for tables and logs.
-  std::string name() const;
-};
-
-// Simulated-fabric configuration, one per InProcTransport (engine:
-// Params::net).
-struct NetConfig {
-  // Layer 1: messages per frame before a size-triggered flush; 1 = flush
-  // every send (the unbatched baseline).
-  std::size_t batchSize = 1;
-  // Layer 1: deadline flush - the oldest buffered message waits at most
-  // this long before the buffer is flushed by the next sender or receiver
-  // touching the link.
-  std::chrono::microseconds flushAfter{100};
-  // Layer 2: max in-flight messages per link; 0 = unbounded (no
-  // back-pressure, the pre-layered behaviour).
-  std::size_t queueCap = 0;
-  // Layer 3: per-message delivery delay distribution.
-  DelayModel delay;
-  // Seed for the per-link delay streams (mixed with the link id).
-  std::uint64_t seed = 0x5EEDF00DULL;
-};
-
-class InProcTransport : public Transport {
+// The bare simulated wire: per-link delivery delay + FIFO, nothing else.
+// Constructed inside InProcTransport; tests wanting batching/back-pressure
+// semantics go through the facade (or wrap a fabric themselves).
+class InProcFabric : public Transport {
  public:
-  explicit InProcTransport(int nLocalities, NetConfig cfg = NetConfig{});
-
-  // Legacy convenience: a fixed one-way latency on every link and no
-  // batching/back-pressure (Params::networkDelayMicros).
-  InProcTransport(int nLocalities, double delayMicros);
+  explicit InProcFabric(int nLocalities, NetConfig cfg = NetConfig{});
 
   int size() const override { return n_; }
-  const NetConfig& config() const { return cfg_; }
 
-  // Buffers the message on its (src, dst) link, flushing a frame to the
-  // in-flight queue when the batch fills. Thread-safe; never blocks on a
-  // full link (overflow is shed to the link's spill list).
+  // Stamp a delivery time and queue on the (src, dst) link. Thread-safe,
+  // never blocks. Loopback messages skip the delay model entirely.
   void send(Message m) override;
 
-  // Convenience: send `payload` under `tag` from src to every locality
-  // except src itself.
-  void broadcast(int src, int tagId,
-                 const std::vector<std::uint8_t>& payload) override;
+  // A flushed batch enters the link under one lock acquisition, each
+  // message with its own sampled delay (the FIFO floor keeps the batch in
+  // order). The fabric has real per-message delivery machinery, so the
+  // batched-frame container the default implementation would build is
+  // pointless indirection here.
+  void sendFrame(std::vector<Message> frame) override;
 
-  // Force out every buffered frame (tests and end-of-run accounting; the
-  // normal path relies on size/deadline flushes).
-  void flushAll() override;
-
-  // Non-blocking receive; returns nothing if no deliverable message.
-  // Flushes overdue batches and promotes spilled messages on the way.
+  // Non-blocking receive; nothing if no message's delay has matured.
   std::optional<Message> tryRecv(int loc) override;
 
-  // Blocking receive with timeout; returns nothing on timeout. Wakes for
-  // frame arrivals and pending batch deadlines.
+  // Blocking receive with timeout. Wakes for new sends and for the next
+  // queued delivery maturing.
   std::optional<Message> recvWait(int loc,
                                   std::chrono::microseconds timeout) override;
 
-  // ---- accounting (all totals are sums over per-link atomics) ----------
+  // Traffic accounting lives in the ShapedTransport wrapper; the bare
+  // fabric reports nothing.
+  std::uint64_t messagesSent() const override { return 0; }
+  std::uint64_t bytesSent() const override { return 0; }
+  std::uint64_t framesSent() const override { return 0; }
 
-  // Logical messages / payload bytes handed to send() so far. Chunked steal
-  // replies shrink messagesSent for the same work moved; the chunking
-  // ablation reports both.
-  std::uint64_t messagesSent() const override;
-  std::uint64_t bytesSent() const override;
-
-  // Wire frames: one per batch flush. Batching amortises per-message
-  // overhead, so framesSent <= messagesSent, with equality at batchSize 1.
-  std::uint64_t framesSent() const override;
-
-  // Messages that travelled in a frame of >= 2 (batched) vs a frame of 1
-  // (immediate). batched + immediate == messages once all frames flushed.
-  std::uint64_t batchedMessages() const override;
-  std::uint64_t immediateMessages() const override;
-
-  // Messages shed to a spill list because their link was at queueCap.
-  std::uint64_t spilledMessages() const override;
-
-  // Highest in-flight queue depth observed on any single link.
-  std::size_t queueHighWater() const override;
-
-  // Instantaneous depths for the telemetry sampler: messages buffered,
-  // in flight or spilled fabric-wide, and on the deepest single link.
+  // Instantaneous depths for the sampler and for the shaper's queue cap:
+  // messages whose delay has not yet matured (plus undelivered matured
+  // ones) count as in flight on their link.
   std::uint64_t queuedMessagesNow() const override;
   std::uint64_t maxLinkQueueNow() const override;
+  std::uint64_t linkBacklogNow(int src, int dst) const override;
 
-  // Simulated-latency histogram summed over links: bucket i counts
-  // messages whose modelled latency (sampled delay plus FIFO/congestion
-  // wait) fell in [2^(i-1), 2^i) microseconds, bucket 0 being < 1us (see
-  // rt::netLatencyBucketFor in metrics.hpp).
+  // Modelled-delay histogram summed over links: bucket i counts messages
+  // whose sampled delay plus FIFO clamp fell in [2^(i-1), 2^i)
+  // microseconds, bucket 0 being < 1us (rt::netLatencyBucketFor). The
+  // shaper adds its congestion-wait samples on top.
   std::array<std::uint64_t, kNetLatencyBuckets> latencyHistogram()
       const override;
-
-  // Per-link view for tests and the network ablation.
-  struct LinkStats {
-    std::uint64_t messages = 0;
-    std::uint64_t bytes = 0;
-    std::uint64_t frames = 0;
-    std::uint64_t batched = 0;
-    std::uint64_t immediate = 0;
-    std::uint64_t spilled = 0;
-    std::size_t queueHighWater = 0;
-  };
-  LinkStats linkStats(int src, int dst) const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -196,45 +107,19 @@ class InProcTransport : public Transport {
     Message msg;
   };
 
-  struct Spilled {
-    Clock::time_point spilledAt;
-    Message msg;
-  };
-
-  // One directed (src, dst) link: batch buffer -> bounded queue (+ spill).
+  // One directed (src, dst) link: delay-stamped in-flight queue.
   struct Link {
-    // Endpoints, fixed at construction (links_ is row-major by src); the
-    // trace frame records need them inside flushLocked.
-    int src = 0;
-    int dst = 0;
     mutable Mutex mtx;
-    // Layer 1: unflushed batch; flushDue is set when the first message of
-    // the current batch is buffered.
-    std::vector<Message> buffer GUARDED_BY(mtx);
-    Clock::time_point flushDue GUARDED_BY(mtx){};
-    // Layer 2: in-flight messages, bounded by cfg.queueCap; overflow waits
-    // in `spill` (FIFO) for a free slot, remembering when it was shed so
-    // the latency histogram can charge the congestion wait.
     std::deque<Pending> queue GUARDED_BY(mtx);
-    std::deque<Spilled> spill GUARDED_BY(mtx);
-    // Layer 3: monotone delivery floor keeping the link FIFO under random
+    // Monotone delivery floor keeping the link FIFO under random
     // per-message delays.
     Clock::time_point fifoFloor GUARDED_BY(mtx){};
     Rng delayRng GUARDED_BY(mtx);
-    // Stats. Counters are atomics because totals are summed without taking
-    // the link lock; highWater/latency are only touched under mtx.
-    std::atomic<std::uint64_t> messages{0};
-    std::atomic<std::uint64_t> bytes{0};
-    std::atomic<std::uint64_t> frames{0};
-    std::atomic<std::uint64_t> batched{0};
-    std::atomic<std::uint64_t> immediate{0};
-    std::atomic<std::uint64_t> spilled{0};
-    std::size_t queueHighWater GUARDED_BY(mtx) = 0;
     std::array<std::uint64_t, kNetLatencyBuckets> latency GUARDED_BY(mtx){};
   };
 
   // Receivers block here; senders bump `version` under mtx on every send
-  // so a flush between a poll and the wait cannot be missed.
+  // so a delivery between a poll and the wait cannot be missed.
   struct Inbox {
     Mutex mtx;
     std::condition_variable cv;
@@ -254,30 +139,17 @@ class InProcTransport : public Transport {
                    static_cast<std::size_t>(dst)];
   }
 
-  // Move the whole batch to the in-flight queue as one frame. Caller holds
+  // Stamp a delivery time and append to the in-flight queue; caller holds
   // l.mtx.
-  void flushLocked(Link& l, Clock::time_point now) REQUIRES(l.mtx);
+  void enqueueLocked(Link& l, Message m, Clock::time_point now)
+      REQUIRES(l.mtx);
 
-  // Stamp a delivery time and append to the in-flight queue. Caller holds
-  // l.mtx and has checked the cap. `sentAt` is when the message entered
-  // layer 2 (the flush, or the shed for spilled messages), so the latency
-  // histogram records modelled delay plus any congestion wait.
-  void enqueueLocked(Link& l, Message m, Clock::time_point now,
-                     Clock::time_point sentAt) REQUIRES(l.mtx);
-
-  // Promote spilled messages into freed queue slots. Caller holds l.mtx.
-  void drainSpillLocked(Link& l, Clock::time_point now) REQUIRES(l.mtx);
-
-  // Flush-if-due + promote on every link into `loc`, then pop the first
-  // deliverable message in round-robin link order.
+  // Pop the first deliverable message in round-robin link order.
   std::optional<Message> pollNow(int loc, Clock::time_point now);
 
-  // Earliest future event (batch deadline or in-flight delivery) on the
-  // links into `loc`; Clock::time_point::max() when idle.
+  // Earliest future delivery on the links into `loc`;
+  // Clock::time_point::max() when idle.
   Clock::time_point nextEventTime(int loc);
-
-  // Sum one per-link atomic counter across the fabric.
-  std::uint64_t sumLinks(std::atomic<std::uint64_t> Link::*counter) const;
 
   void notifyInbox(int dst);
 
@@ -285,6 +157,91 @@ class InProcTransport : public Transport {
   NetConfig cfg_;
   std::vector<std::unique_ptr<Link>> links_;    // n_ * n_, row-major by src
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+};
+
+// The simulated backend as the rest of the runtime sees it: a shaped
+// fabric. Everything forwards to the ShapedTransport member, which owns the
+// batching/back-pressure/counter behaviour documented in shaping.hpp.
+class InProcTransport : public Transport {
+ public:
+  explicit InProcTransport(int nLocalities, NetConfig cfg = NetConfig{})
+      : fabric_(nLocalities, cfg), shaper_(fabric_, cfg) {}
+
+  // Legacy convenience: a fixed one-way latency on every link and no
+  // batching/back-pressure (Params::networkDelayMicros).
+  InProcTransport(int nLocalities, double delayMicros)
+      : InProcTransport(nLocalities, [&] {
+          NetConfig c;
+          if (delayMicros > 0) {
+            c.delay = DelayModel{DelayModel::Kind::Fixed, delayMicros, 0.0};
+          }
+          return c;
+        }()) {}
+
+  int size() const override { return shaper_.size(); }
+  const NetConfig& config() const { return shaper_.config(); }
+
+  void send(Message m) override { shaper_.send(std::move(m)); }
+  void broadcast(int src, int tagId,
+                 const std::vector<std::uint8_t>& payload) override {
+    shaper_.broadcast(src, tagId, payload);
+  }
+  void sendFrame(std::vector<Message> frame) override {
+    shaper_.sendFrame(std::move(frame));
+  }
+  void flushAll() override { shaper_.flushAll(); }
+  void shutdown() override { shaper_.shutdown(); }
+
+  std::optional<Message> tryRecv(int loc) override {
+    return shaper_.tryRecv(loc);
+  }
+  std::optional<Message> recvWait(
+      int loc, std::chrono::microseconds timeout) override {
+    return shaper_.recvWait(loc, timeout);
+  }
+
+  std::uint64_t messagesSent() const override {
+    return shaper_.messagesSent();
+  }
+  std::uint64_t bytesSent() const override { return shaper_.bytesSent(); }
+  std::uint64_t framesSent() const override { return shaper_.framesSent(); }
+  std::uint64_t batchedMessages() const override {
+    return shaper_.batchedMessages();
+  }
+  std::uint64_t immediateMessages() const override {
+    return shaper_.immediateMessages();
+  }
+  std::uint64_t spilledMessages() const override {
+    return shaper_.spilledMessages();
+  }
+  std::size_t queueHighWater() const override {
+    return shaper_.queueHighWater();
+  }
+  std::uint64_t queuedMessagesNow() const override {
+    return shaper_.queuedMessagesNow();
+  }
+  std::uint64_t maxLinkQueueNow() const override {
+    return shaper_.maxLinkQueueNow();
+  }
+  std::uint64_t linkBacklogNow(int src, int dst) const override {
+    return shaper_.linkBacklogNow(src, dst);
+  }
+  std::array<std::uint64_t, kNetLatencyBuckets> latencyHistogram()
+      const override {
+    return shaper_.latencyHistogram();
+  }
+
+  // Per-link view for tests and the network ablation.
+  using LinkStats = ShapedTransport::LinkStats;
+  LinkStats linkStats(int src, int dst) const {
+    return shaper_.linkStats(src, dst);
+  }
+
+ private:
+  // Declaration order matters: the shaper wraps the fabric, so the fabric
+  // must outlive it (constructed first, destroyed last).
+  InProcFabric fabric_;
+  ShapedTransport shaper_;
 };
 
 }  // namespace yewpar::rt

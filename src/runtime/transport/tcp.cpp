@@ -49,12 +49,16 @@ bool writeFull(int fd, const std::uint8_t* p, std::size_t n) {
 enum class ReadResult { Ok, Eof, Error, GaveUp };
 
 // Read exactly n bytes, polling in 100ms slices so `giveUp` (shutdown
-// drain deadline, handshake timeout) is observed even on a silent socket.
-// Eof is reported only for a clean close before the first byte; a close
-// mid-read is an Error (a frame or handshake was cut short).
+// drain deadline, handshake timeout, peer-silence deadline) is observed
+// even on a silent socket. Eof is reported only for a clean close before
+// the first byte; a close mid-read is an Error (a frame or handshake was
+// cut short). When `activity` is given it is stamped on every successful
+// recv, so the caller's liveness clock tracks byte arrival - a slow bulk
+// transfer with no frame boundaries for seconds still counts as alive.
 template <typename GiveUp>
 ReadResult readFull(int fd, std::uint8_t* p, std::size_t n,
-                    const GiveUp& giveUp) {
+                    const GiveUp& giveUp,
+                    Clock::time_point* activity = nullptr) {
   std::size_t got = 0;
   while (got < n) {
     pollfd pfd{fd, POLLIN, 0};
@@ -74,6 +78,7 @@ ReadResult readFull(int fd, std::uint8_t* p, std::size_t n,
     }
     if (r == 0) return got == 0 ? ReadResult::Eof : ReadResult::Error;
     got += static_cast<std::size_t>(r);
+    if (activity) *activity = Clock::now();
   }
   return ReadResult::Ok;
 }
@@ -403,6 +408,32 @@ void TcpTransport::killLink(Peer& p) {
   p.cv.notify_all();
 }
 
+void TcpTransport::peerDied(int peerRank, const std::string& why) {
+  Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
+  {
+    LockGuard lock(p.mtx);
+    if (p.deathReported) return;
+    p.deathReported = true;
+  }
+  std::fprintf(stderr,
+               "yewpar-tcp: rank %d: peer rank %d declared dead: %s\n",
+               cfg_.rank, peerRank, why.c_str());
+  trace::record(trace::Ev::kPeerDead, cfg_.rank,
+                static_cast<std::uint64_t>(peerRank), 0);
+  killLink(p);
+  PeerFailureHandler cb;
+  {
+    LockGuard lock(cbMtx_);
+    cb = failureCb_;
+  }
+  if (cb) cb(peerRank, why);
+}
+
+void TcpTransport::onPeerFailure(PeerFailureHandler handler) {
+  LockGuard lock(cbMtx_);
+  failureCb_ = std::move(handler);
+}
+
 void TcpTransport::pushInbox(Message m) {
   {
     LockGuard lock(inboxMtx_);
@@ -424,12 +455,11 @@ void TcpTransport::send(Message m) {
   const std::uint64_t payloadBytes = m.payload.size();
   if (m.dst == cfg_.rank) {
     // Loopback (e.g. the manager shutdown nudge), as on the simulated
-    // backend: straight to the inbox, no framing.
+    // backend: straight to the inbox, no framing. The logical kFrameSend
+    // trace is the shaping layer's job; the physical receipt is ours.
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(payloadBytes, std::memory_order_relaxed);
     frames_.fetch_add(1, std::memory_order_relaxed);
-    trace::record(trace::Ev::kFrameSend, cfg_.rank,
-                  static_cast<std::uint64_t>(m.dst), 1);
     trace::record(trace::Ev::kFrameRecv, cfg_.rank,
                   static_cast<std::uint64_t>(m.src), payloadBytes);
     pushInbox(std::move(m));
@@ -489,18 +519,56 @@ std::optional<Message> TcpTransport::recvWait(
 void TcpTransport::senderLoop(int peerRank) {
   Peer& p = *peers_[static_cast<std::size_t>(peerRank)];
   trace::nameThread("tcp.tx" + std::to_string(peerRank));
+  // Heartbeat cadence: a quarter of the silence deadline, so the peer sees
+  // several keep-alives per timeout window even under scheduling jitter.
+  const auto hbInterval =
+      cfg_.peerTimeout.count() > 0
+          ? std::max(cfg_.peerTimeout / 4, std::chrono::milliseconds(1))
+          : std::chrono::milliseconds(0);
   for (;;) {
     std::deque<Message> batch;
+    bool idleHeartbeat = false;
     {
-      // Explicit predicate loop (not a wait lambda) so the thread-safety
-      // analysis sees sendq/closing read with p.mtx held.
+      // Explicit predicate loops (not wait lambdas) so the thread-safety
+      // analysis sees sendq/closing/dead read with p.mtx held.
       UniqueLock lock(p.mtx);
-      while (p.sendq.empty() && !p.closing) {
-        p.cv.wait(lock.native());
+      if (hbInterval.count() > 0) {
+        while (p.sendq.empty() && !p.closing) {
+          if (p.cv.wait_for(lock.native(), hbInterval) ==
+              std::cv_status::timeout &&
+              p.sendq.empty() && !p.closing) {
+            idleHeartbeat = !p.dead;
+            break;
+          }
+        }
+      } else {
+        while (p.sendq.empty() && !p.closing) {
+          p.cv.wait(lock.native());
+        }
       }
       if (p.sendq.empty() && p.closing) break;
       batch.swap(p.sendq);
     }
+    if (idleHeartbeat && batch.empty()) {
+      wire::FrameHeader h;  // payloadLen 0: the header IS the keep-alive
+      h.tag = static_cast<std::uint32_t>(tag::kHeartbeat);
+      const auto hb = h.encode();
+      if (!writeFull(p.fd, hb.data(), hb.size())) {
+        bool alreadyDown;
+        {
+          LockGuard lock(p.mtx);
+          alreadyDown = p.dead || p.closing;
+          p.dead = true;
+        }
+        if (!alreadyDown && !draining_.load(std::memory_order_acquire)) {
+          peerDied(peerRank, "heartbeat write failed: " + errnoText());
+        }
+        break;
+      }
+      heartbeats_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    bool writeFailed = false;
     for (auto& m : batch) {
       wire::FrameHeader h;
       h.payloadLen = static_cast<std::uint32_t>(m.payload.size());
@@ -508,19 +576,21 @@ void TcpTransport::senderLoop(int peerRank) {
       const auto hb = h.encode();
       if (!writeFull(p.fd, hb.data(), hb.size()) ||
           !writeFull(p.fd, m.payload.data(), m.payload.size())) {
-        LockGuard lock(p.mtx);
-        if (!p.dead && !p.closing) {
-          std::fprintf(stderr,
-                       "yewpar-tcp: rank %d: write to rank %d failed (%s); "
-                       "dropping outbound traffic to it\n",
-                       cfg_.rank, peerRank, errnoText().c_str());
+        const std::string why = "write failed: " + errnoText();
+        bool alreadyDown;
+        {
+          LockGuard lock(p.mtx);
+          alreadyDown = p.dead || p.closing;
+          p.dead = true;
         }
-        p.dead = true;
+        if (!alreadyDown && !draining_.load(std::memory_order_acquire)) {
+          peerDied(peerRank, why);
+        }
+        writeFailed = true;
         break;
       }
-      trace::record(trace::Ev::kFrameSend, cfg_.rank,
-                    static_cast<std::uint64_t>(peerRank), 1);
     }
+    if (writeFailed) break;
   }
   // Every queued frame is on the wire: half-close so the peer's receiver
   // sees EOF at a frame boundary.
@@ -538,27 +608,71 @@ void TcpTransport::receiverLoop(int peerRank) {
   // window of silence at a frame boundary; drainDeadline_ is the dead-peer
   // backstop.
   constexpr auto kDrainQuiet = std::chrono::milliseconds(250);
+  const auto peerTimeout = cfg_.peerTimeout;
   auto lastFrameAt = Clock::now();
+  // Liveness clock for failure detection: any byte from the peer (message
+  // frames, heartbeats, partial reads of a big payload) counts.
+  auto lastHeard = Clock::now();
+  bool silenceExpired = false;
+  const auto silenceGiveUp = [&] {
+    // Only mid-run: once this side drains, the peer may legitimately be
+    // gone already and the drain deadline governs instead.
+    if (peerTimeout.count() <= 0 ||
+        draining_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (Clock::now() - lastHeard >= peerTimeout) {
+      silenceExpired = true;
+      return true;
+    }
+    return false;
+  };
   const auto midFrameGiveUp = [&] {
+    if (silenceGiveUp()) return true;
     return draining_.load(std::memory_order_acquire) &&
            Clock::now() >= drainDeadline_.load(std::memory_order_relaxed);
   };
   const auto boundaryGiveUp = [&] {
+    if (silenceGiveUp()) return true;
     if (!draining_.load(std::memory_order_acquire)) return false;
     const auto now = Clock::now();
     return now >= drainDeadline_.load(std::memory_order_relaxed) ||
            now - lastFrameAt >= kDrainQuiet;
   };
+  const auto silenceDiagnosis = [&] {
+    return "silent for over " + std::to_string(peerTimeout.count()) +
+           " ms (no frames, no heartbeats; --peer-timeout-ms)";
+  };
   for (;;) {
     std::uint8_t hb[wire::FrameHeader::kBytes];
-    auto r = readFull(fd, hb, sizeof(hb), boundaryGiveUp);
+    auto r = readFull(fd, hb, sizeof(hb), boundaryGiveUp, &lastHeard);
+    if (r == ReadResult::GaveUp && silenceExpired) {
+      peerDied(peerRank, silenceDiagnosis());
+      break;
+    }
+    if (r == ReadResult::Eof && peerTimeout.count() > 0 &&
+        !draining_.load(std::memory_order_acquire)) {
+      // Clean close at a frame boundary before this side started its own
+      // shutdown. A gracefully finished peer and a SIGKILLed one both end
+      // this way (the kernel closes the socket of a killed process with a
+      // normal FIN); only time tells them apart. If the job is really
+      // over, this side's own shutdown follows promptly - so wait up to
+      // the peer timeout for draining_ before declaring a death.
+      const auto lingerEnd = Clock::now() + peerTimeout;
+      while (!draining_.load(std::memory_order_acquire) &&
+             Clock::now() < lingerEnd) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (!draining_.load(std::memory_order_acquire)) {
+        peerDied(peerRank,
+                 "connection closed mid-run and the job did not finish "
+                 "within the peer timeout (rank killed?)");
+      }
+      break;
+    }
     if (r != ReadResult::Ok) {
       if (r == ReadResult::Error && !draining_.load()) {
-        std::fprintf(stderr,
-                     "yewpar-tcp: rank %d: link from rank %d broke "
-                     "mid-frame (%s)\n",
-                     cfg_.rank, peerRank, errnoText().c_str());
-        killLink(p);
+        peerDied(peerRank, "link broke mid-frame (" + errnoText() + ")");
       }
       break;
     }
@@ -567,21 +681,23 @@ void TcpTransport::receiverLoop(int peerRank) {
       // A desynchronized or hostile stream: kill the whole link, not just
       // this thread - leaving the socket open could wedge the peer's
       // sender (and its shutdown join) once buffers fill.
-      std::fprintf(stderr,
-                   "yewpar-tcp: rank %d: oversized frame (%u bytes) from "
-                   "rank %d; closing the link\n",
-                   cfg_.rank, h.payloadLen, peerRank);
-      killLink(p);
+      peerDied(peerRank, "oversized frame (" + std::to_string(h.payloadLen) +
+                             " bytes); stream desynchronized");
       break;
     }
+    if (static_cast<int>(h.tag) == tag::kHeartbeat && h.payloadLen == 0) {
+      // Keep-alive: proof of life only (lastHeard was stamped by the
+      // read); never surfaces as a message.
+      continue;
+    }
     std::vector<std::uint8_t> payload(h.payloadLen);
-    r = readFull(fd, payload.data(), payload.size(), midFrameGiveUp);
+    r = readFull(fd, payload.data(), payload.size(), midFrameGiveUp,
+                 &lastHeard);
     if (r != ReadResult::Ok) {
-      if (!draining_.load()) {
-        std::fprintf(stderr,
-                     "yewpar-tcp: rank %d: truncated frame from rank %d\n",
-                     cfg_.rank, peerRank);
-        killLink(p);
+      if (r == ReadResult::GaveUp && silenceExpired) {
+        peerDied(peerRank, silenceDiagnosis());
+      } else if (!draining_.load()) {
+        peerDied(peerRank, "truncated frame");
       }
       break;
     }
@@ -653,6 +769,50 @@ std::uint64_t TcpTransport::maxLinkQueueNow() const {
     if (p->sendq.size() > deepest) deepest = p->sendq.size();
   }
   return deepest;
+}
+
+std::uint64_t TcpTransport::linkBacklogNow(int src, int dst) const {
+  // Only outbound links exist on this rank; anything else has no local
+  // queue to measure.
+  if (src != cfg_.rank || dst < 0 || dst >= world_ || dst == cfg_.rank) {
+    return 0;
+  }
+  const Peer& p = *peers_[static_cast<std::size_t>(dst)];
+  LockGuard lock(p.mtx);
+  return p.sendq.size();
+}
+
+void TcpTransport::abandon() {
+  if (shutdownDone_.exchange(true)) return;  // also blocks later shutdown()
+  // No drain: deadline now, queues dropped, sockets shut both ways. The
+  // peers see an abrupt (but FIN-terminated) close, exactly what they get
+  // from a process the kernel cleaned up after a SIGKILL.
+  drainDeadline_.store(Clock::now(), std::memory_order_relaxed);
+  draining_.store(true, std::memory_order_release);
+  for (auto& p : peers_) {
+    {
+      LockGuard lock(p->mtx);
+      p->closing = true;
+      p->dead = true;
+      p->sendq.clear();
+    }
+    p->cv.notify_all();
+    if (p->fd >= 0) ::shutdown(p->fd, SHUT_RDWR);
+  }
+  for (auto& p : peers_) {
+    if (p->sender.joinable()) p->sender.join();
+    if (p->receiver.joinable()) p->receiver.join();
+  }
+  for (auto& p : peers_) {
+    if (p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+  }
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
 }
 
 std::int64_t TcpTransport::handshakeClockDeltaNanos(int peer) const {

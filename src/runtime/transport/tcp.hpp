@@ -21,6 +21,21 @@
 // and pushes into the single local inbox that recvWait serves). Self-sends
 // go straight to the inbox, mirroring the simulated backend's loopback.
 //
+// Rank-failure detection (TcpConfig::peerTimeout, `--peer-timeout-ms`).
+// An idle sender writes a zero-payload tag::kHeartbeat frame every quarter
+// of the timeout, and the receiver treats any byte activity as proof of
+// life, so a peer is declared dead only after a full timeout of true
+// silence (a slow bulk transfer keeps the link alive by its own bytes). A
+// peer is also declared dead when a write fails, a frame is cut short, or
+// its end closes cleanly mid-run and this side has not started its own
+// shutdown within the timeout (a SIGKILLed process and a gracefully
+// finished one both close with a FIN; only the passage of time tells them
+// apart). Death is reported once per peer: a diagnostic naming the dead
+// rank on stderr, a trace::Ev::kPeerDead event, and the onPeerFailure
+// callback, which the engine uses to abort the whole job instead of
+// hanging until the drain timeout. peerTimeout 0 disables heartbeats, the
+// silence deadline and the mid-run EOF check.
+//
 // Shutdown ordering (graceful, drains in-flight frames):
 //   1. each sender thread finishes writing every queued frame, then
 //      half-closes its socket (shutdown(SHUT_WR)) - the frame boundary is
@@ -58,6 +73,10 @@ struct TcpConfig {
   std::chrono::milliseconds connectTimeout{15000};
   // How long a receiver waits for a peer's half-close during shutdown.
   std::chrono::milliseconds drainTimeout{5000};
+  // Rank-failure detection: a peer silent (no bytes, including heartbeats)
+  // for this long mid-run is declared dead; idle senders heartbeat every
+  // quarter of it. 0 disables detection entirely.
+  std::chrono::milliseconds peerTimeout{30000};
 };
 
 // Split "host:port"; throws TransportError on malformed specs.
@@ -90,17 +109,32 @@ class TcpTransport : public Transport {
   // Drain-and-close, idempotent (see the shutdown ordering above).
   void shutdown() override;
 
+  // Test hook: drop the mesh on the floor - no queue drain, no half-close
+  // courtesy, sockets torn down immediately - approximating a process that
+  // vanished mid-run. Surviving peers see a close they must disambiguate
+  // via their peerTimeout. Idempotent with (and excluded by) shutdown().
+  void abandon();
+
   std::uint64_t messagesSent() const override {
     return messages_.load(std::memory_order_relaxed);
   }
   std::uint64_t bytesSent() const override {
     return bytes_.load(std::memory_order_relaxed);
   }
-  // One frame per message on this backend (no batching layer yet).
+  // The raw backend emits one wire frame per message handed to send(); the
+  // engine wraps it in a ShapedTransport, whose flushes arrive here as one
+  // tag::kBatchedFrame container message - still one frame on this count,
+  // which is exactly the point of batching. Heartbeats are never counted.
   std::uint64_t framesSent() const override {
     return frames_.load(std::memory_order_relaxed);
   }
+  // Without a shaping layer every message is its own frame; the shaper's
+  // batched/immediate split supersedes this when it wraps us.
   std::uint64_t immediateMessages() const override { return messagesSent(); }
+
+  std::uint64_t heartbeatsSent() const override {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
 
   // Highest outbound-queue depth seen on any single peer: the TCP analogue
   // of the simulated fabric's in-flight high-water mark.
@@ -110,6 +144,14 @@ class TcpTransport : public Transport {
   // the local inbox, and the deepest single peer queue.
   std::uint64_t queuedMessagesNow() const override;
   std::uint64_t maxLinkQueueNow() const override;
+
+  // Outbound-queue depth towards `dst` (only links whose src is this rank
+  // exist here); the shaping layer's queue cap counts against this.
+  std::uint64_t linkBacklogNow(int src, int dst) const override;
+
+  // Register the peer-death callback (see the header comment); fired from
+  // a transport thread, at most once per peer.
+  void onPeerFailure(PeerFailureHandler handler) override;
 
   // Peer's handshake send stamp minus our steady clock at handshake read:
   // the local half of the clock-offset estimate used to align traces at
@@ -134,12 +176,19 @@ class TcpTransport : public Transport {
     bool closing GUARDED_BY(mtx) = false;
     // Write/read error; outbound traffic is dropped.
     bool dead GUARDED_BY(mtx) = false;
+    // peerDied() once-guard: the diagnostic, trace event and failure
+    // callback fire at most once per peer, whichever path noticed first.
+    bool deathReported GUARDED_BY(mtx) = false;
     std::size_t highWater GUARDED_BY(mtx) = 0;
   };
 
   void senderLoop(int peerRank);
   void receiverLoop(int peerRank);
   void pushInbox(Message m);
+
+  // Declare `peerRank` dead: report once (stderr + trace + onPeerFailure
+  // callback) and kill the link. Callable from any transport thread.
+  void peerDied(int peerRank, const std::string& why);
 
   // Tear a broken link down: mark it dead (future send() drops) and
   // shut the socket both ways so a sender blocked mid-write fails fast
@@ -166,6 +215,10 @@ class TcpTransport : public Transport {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+
+  mutable Mutex cbMtx_;
+  PeerFailureHandler failureCb_ GUARDED_BY(cbMtx_);
 };
 
 }  // namespace yewpar::rt

@@ -8,10 +8,16 @@
 //
 //   * InProcTransport (transport/inproc.hpp) - the simulated fabric: all
 //     localities live in one process and messages cross thread boundaries
-//     through per-link queues with batching, back-pressure and delay models.
+//     through per-link queues with modelled delivery delays.
 //   * TcpTransport (transport/tcp.hpp) - one locality per OS process;
 //     messages travel as length-prefixed frames over TCP sockets, so the
 //     same binary runs as N real processes on loopback or a LAN.
+//
+// The link-shaping layers (send-buffer batching, bounded in-flight queues
+// with shed-to-spill back-pressure, per-link counters) are NOT per-backend:
+// ShapedTransport (transport/shaping.hpp) wraps any Transport and both the
+// simulated facade and the engine's TCP path run behind it, so `--net-batch`
+// and `--net-queue-cap` behave identically on both backends.
 //
 // A Transport serves receives for one or more local localities; `recvWait`
 // and `tryRecv` take the locality id so the in-process backend can host all
@@ -26,6 +32,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -70,6 +77,15 @@ class Transport {
     }
   }
 
+  // Hand a whole flushed batch to the wire at once. Every message in
+  // `frame` shares one (src, dst) pair and the batch is delivered in order,
+  // as if sent individually. The default encodes frames of >= 2 into one
+  // tag::kBatchedFrame container message (decoded transparently by the
+  // ShapedTransport receive path), so a frame costs one wire round through
+  // backends that know nothing about batching; backends with per-message
+  // machinery (the simulated fabric) override it instead.
+  virtual void sendFrame(std::vector<Message> frame);
+
   // Non-blocking receive for locality `loc`.
   virtual std::optional<Message> tryRecv(int loc) = 0;
 
@@ -92,8 +108,9 @@ class Transport {
   virtual std::uint64_t bytesSent() const = 0;
   virtual std::uint64_t framesSent() const = 0;
 
-  // Batching/back-pressure/latency detail; meaningful for the simulated
-  // backend, zero for backends without those layers.
+  // Batching/back-pressure/latency detail; maintained by the shaping layer
+  // (ShapedTransport) on both backends, zero for bare transports without
+  // those layers.
   virtual std::uint64_t batchedMessages() const { return 0; }
   virtual std::uint64_t immediateMessages() const { return 0; }
   virtual std::uint64_t spilledMessages() const { return 0; }
@@ -103,12 +120,35 @@ class Transport {
     return {};
   }
 
+  // Idle keep-alive frames emitted towards peers (rank-failure detection;
+  // TCP only - they never surface as messages or count as frames).
+  virtual std::uint64_t heartbeatsSent() const { return 0; }
+
   // ---- observability ----------------------------------------------------
   // Instantaneous queue depths for the telemetry sampler: messages queued
   // fabric-wide and on the deepest single link/peer. Zero for backends that
   // do not queue.
   virtual std::uint64_t queuedMessagesNow() const { return 0; }
   virtual std::uint64_t maxLinkQueueNow() const { return 0; }
+
+  // Messages currently in flight on the (src, dst) link - the shaping
+  // layer's back-pressure cap counts against this. Zero when the backend
+  // does not track per-link depth.
+  virtual std::uint64_t linkBacklogNow(int src, int dst) const {
+    (void)src;
+    (void)dst;
+    return 0;
+  }
+
+  // ---- rank-failure detection -------------------------------------------
+  // Register a callback fired (once per peer, from a transport thread) when
+  // a peer is declared dead: its link broke mid-run, or it went silent past
+  // the configured peer timeout. Backends without failure detection never
+  // call it. The callback must not block and must not call back into the
+  // transport.
+  using PeerFailureHandler = std::function<void(int peer,
+                                                const std::string& why)>;
+  virtual void onPeerFailure(PeerFailureHandler handler) { (void)handler; }
 
   // Clock-offset raw material for cross-process trace alignment: the peer's
   // handshake send stamp minus the local steady clock at handshake receive

@@ -28,7 +28,14 @@
 //   u8[payloadLen]   opaque archive bytes.
 // The sender's rank is fixed per connection by the handshake, and the
 // destination is whoever owns the receiving end, so neither travels per
-// frame.
+// frame. Two tags are the link's own, never an application message:
+//   tag::kBatchedFrame  the payload is a batched-frame container holding
+//                       several logical messages (transport/shaping.hpp);
+//                       both tags sit in the protocolVersion() table, so a
+//                       build without the container format is fenced off at
+//                       handshake time rather than misparsing frames.
+//   tag::kHeartbeat     payloadLen 0; idle keep-alive for rank-failure
+//                       detection, consumed by the receiving link.
 
 #include <array>
 #include <cstdint>
@@ -50,7 +57,8 @@ inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
 constexpr std::uint32_t protocolVersion() {
   constexpr int tags[] = {
       tag::kShutdownManager, tag::kSnapshotRequest, tag::kSnapshotReply,
-      tag::kTerminate,       tag::kBoundUpdate,     tag::kPoolStealRequest,
+      tag::kTerminate,       tag::kBatchedFrame,    tag::kHeartbeat,
+      tag::kBoundUpdate,     tag::kPoolStealRequest,
       tag::kPoolStealReply,  tag::kStackStealRequest,
       tag::kStackStealReply, tag::kSpaceBroadcast,  tag::kGatherRequest,
       tag::kGatherReply,     tag::kStopSearch,      tag::kTraceData,

@@ -171,15 +171,17 @@ TEST(NetworkDelay, RandomPerMessageDelaysKeepLinkFifo) {
   cfg.seed = 99;
   Network net(2, cfg);
   constexpr int kMsgs = 50;
+  // kUser offsets: raw low integers would collide with the transport's
+  // reserved link tags (tag::kBatchedFrame / tag::kHeartbeat).
   for (int i = 0; i < kMsgs; ++i) {
-    net.send(Message{0, 1, i, {}});
+    net.send(Message{0, 1, tag::kUser + i, {}});
   }
   // Whatever delays were sampled, delivery order must match send order
   // (the per-link monotone floor models a FIFO pipe of varying latency).
   for (int i = 0; i < kMsgs; ++i) {
     auto m = net.recvWait(1, 500ms);
     ASSERT_TRUE(m.has_value()) << i;
-    EXPECT_EQ(m->tag, i);
+    EXPECT_EQ(m->tag, tag::kUser + i);
   }
 }
 
@@ -207,7 +209,7 @@ TEST(NetworkBackPressure, FullLinkShedsToSpillAndLosesNothing) {
   Network net(2, cfg);
   constexpr int kMsgs = 10;
   for (int i = 0; i < kMsgs; ++i) {
-    net.send(Message{0, 1, i, {}});
+    net.send(Message{0, 1, tag::kUser + i, {}});
   }
   auto stats = net.linkStats(0, 1);
   EXPECT_EQ(stats.queueHighWater, 4u);            // never above the cap
@@ -217,7 +219,7 @@ TEST(NetworkBackPressure, FullLinkShedsToSpillAndLosesNothing) {
   for (int i = 0; i < kMsgs; ++i) {
     auto m = net.recvWait(1, 100ms);
     ASSERT_TRUE(m.has_value()) << i;
-    EXPECT_EQ(m->tag, i);
+    EXPECT_EQ(m->tag, tag::kUser + i);
   }
   EXPECT_FALSE(net.tryRecv(1).has_value());
   EXPECT_EQ(net.linkStats(0, 1).queueHighWater, 4u);

@@ -360,13 +360,15 @@ TEST(Network, DeliversPointToPoint) {
 
 TEST(Network, FifoPerDestination) {
   Network net(2);
+  // kUser offsets: raw low integers would collide with the transport's
+  // reserved link tags (tag::kBatchedFrame / tag::kHeartbeat).
   for (int i = 0; i < 10; ++i) {
-    net.send(Message{0, 1, i, {}});
+    net.send(Message{0, 1, tag::kUser + i, {}});
   }
   for (int i = 0; i < 10; ++i) {
     auto m = net.recvWait(1, 100ms);
     ASSERT_TRUE(m.has_value());
-    EXPECT_EQ(m->tag, i);
+    EXPECT_EQ(m->tag, tag::kUser + i);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "core/yewpar.hpp"
 #include "runtime/locality.hpp"
 #include "runtime/termination.hpp"
+#include "runtime/transport/shaping.hpp"
 #include "runtime/transport/tcp.hpp"
 #include "runtime/transport/wire.hpp"
 #include "util/archive.hpp"
@@ -391,7 +392,8 @@ std::vector<std::string> loopbackPeers(std::uint16_t base, int n) {
 
 // Bring up an n-rank loopback mesh. Constructors block until the mesh is
 // connected, so every rank constructs on its own thread.
-std::vector<std::unique_ptr<TcpTransport>> makeMesh(int n) {
+std::vector<std::unique_ptr<TcpTransport>> makeMesh(
+    int n, std::chrono::milliseconds peerTimeout = 30000ms) {
   for (int attempt = 0; attempt < 8; ++attempt) {
     const auto peers = loopbackPeers(nextPortBase(), n);
     std::vector<std::unique_ptr<TcpTransport>> mesh(
@@ -405,6 +407,7 @@ std::vector<std::unique_ptr<TcpTransport>> makeMesh(int n) {
           cfg.rank = r;
           cfg.peers = peers;
           cfg.connectTimeout = 5000ms;
+          cfg.peerTimeout = peerTimeout;
           mesh[static_cast<std::size_t>(r)] =
               std::make_unique<TcpTransport>(cfg);
         } catch (...) {
@@ -652,6 +655,170 @@ TEST(TcpTransport, MalformedPayloadDropsMessageNotTheRank) {
   mesh[1]->shutdown();
 }
 
+// ---- link shaping over real sockets --------------------------------------
+
+TEST(ShapedTcp, BatchFlushCutsWireFrames) {
+  // The engine's TCP composition: a ShapedTransport wrapping each rank's
+  // raw socket backend. With --net-batch 8 and a flush deadline too long to
+  // fire, 64 messages must leave as exactly 8 size-triggered container
+  // frames on the wire - fewer frames than messages is the whole point.
+  auto mesh = makeMesh(2);
+  NetConfig net;
+  net.batchSize = 8;
+  net.flushAfter = std::chrono::microseconds(5'000'000);
+  ShapedTransport s0(*mesh[0], net);
+  ShapedTransport s1(*mesh[1], net);
+
+  const std::uint64_t kMsgs = 64;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    s0.send(Message{0, 1, tag::kUser, toBytes(i)});
+  }
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    auto m = s1.recvWait(1, 2'000'000us);
+    ASSERT_TRUE(m.has_value()) << "lost message " << i;
+    EXPECT_EQ(fromBytes<std::uint64_t>(std::move(m->payload)), i)
+        << "FIFO broken under shaping";
+  }
+
+  EXPECT_EQ(s0.messagesSent(), kMsgs);
+  EXPECT_EQ(s0.batchedMessages(), kMsgs);
+  EXPECT_EQ(s0.framesSent(), kMsgs / 8);
+  // One logical frame = one container message = one wire frame.
+  EXPECT_EQ(mesh[0]->framesSent(), kMsgs / 8);
+  EXPECT_LT(mesh[0]->framesSent(), kMsgs);
+
+  s0.shutdown();
+  s1.shutdown();
+}
+
+TEST(ShapedTcp, QueueCapShedsToSpillAndLosesNothing) {
+  // --net-queue-cap back-pressure against the real socket backlog: a size-
+  // triggered flush of 4 with cap 2 hands 2 to the socket and sheds 2 to
+  // the spill list; a forced flush later promotes them. Nothing is lost or
+  // reordered, and the shed is visible in spilledMessages().
+  auto mesh = makeMesh(2);
+  NetConfig net;
+  net.batchSize = 4;
+  net.flushAfter = std::chrono::microseconds(5'000'000);
+  net.queueCap = 2;
+  ShapedTransport s0(*mesh[0], net);
+  ShapedTransport s1(*mesh[1], net);
+
+  const std::uint64_t kMsgs = 6;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    s0.send(Message{0, 1, tag::kUser, toBytes(i)});
+  }
+  // The 4th send flushed: the socket queue was empty, so exactly cap = 2
+  // messages were handed over and the other 2 shed behind them.
+  EXPECT_EQ(s0.spilledMessages(), 2u);
+  s0.flushAll();  // forced: promotes the spill, then the remaining buffer
+
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    auto m = s1.recvWait(1, 2'000'000us);
+    ASSERT_TRUE(m.has_value()) << "lost message " << i;
+    EXPECT_EQ(fromBytes<std::uint64_t>(std::move(m->payload)), i)
+        << "spill promotion broke FIFO";
+  }
+  EXPECT_EQ(s0.messagesSent(), kMsgs);
+  // The high-water mark never exceeds the cap on capped handoffs.
+  EXPECT_LE(s0.queueHighWater(), 2u);
+
+  s0.shutdown();
+  s1.shutdown();
+}
+
+TEST(ShapedTcp, MixedFlushSizesPreserveFifoAndAccounting) {
+  // Irregular flushes (size-triggered full frames, forced partial frames,
+  // singleton frames) must keep per-link FIFO and the accounting identity
+  // batched + immediate == messages.
+  auto mesh = makeMesh(2);
+  NetConfig net;
+  net.batchSize = 5;
+  net.flushAfter = std::chrono::microseconds(5'000'000);
+  ShapedTransport s0(*mesh[0], net);
+  ShapedTransport s1(*mesh[1], net);
+
+  const std::uint64_t kMsgs = 25;
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    s0.send(Message{0, 1, tag::kUser, toBytes(i)});
+    if (i % 7 == 0) s0.flushAll();  // partial frames, including size 1
+  }
+  s0.flushAll();
+
+  for (std::uint64_t i = 0; i < kMsgs; ++i) {
+    auto m = s1.recvWait(1, 2'000'000us);
+    ASSERT_TRUE(m.has_value()) << "lost message " << i;
+    EXPECT_EQ(fromBytes<std::uint64_t>(std::move(m->payload)), i);
+  }
+  EXPECT_EQ(s0.messagesSent(), kMsgs);
+  EXPECT_EQ(s0.batchedMessages() + s0.immediateMessages(), kMsgs);
+  EXPECT_GT(s0.batchedMessages(), 0u);
+  EXPECT_GT(s0.immediateMessages(), 0u);
+  EXPECT_LT(mesh[0]->framesSent(), kMsgs);
+
+  s0.shutdown();
+  s1.shutdown();
+}
+
+// ---- rank-failure detection ----------------------------------------------
+
+TEST(TcpFailure, AbandonedPeerFiresFailureCallbackNamingRank) {
+  // abandon() approximates a SIGKILLed process: no drain, no goodbye. The
+  // survivor must declare the peer dead within the peer timeout and fire
+  // onPeerFailure exactly once with the dead rank.
+  auto mesh = makeMesh(2, 400ms);
+  std::mutex mtx;
+  std::condition_variable cv;
+  int dead = -1;
+  std::string why;
+  int fires = 0;
+  mesh[0]->onPeerFailure([&](int r, const std::string& w) {
+    std::lock_guard lock(mtx);
+    dead = r;
+    why = w;
+    ++fires;
+    cv.notify_all();
+  });
+
+  mesh[1]->abandon();
+  {
+    std::unique_lock lock(mtx);
+    ASSERT_TRUE(cv.wait_for(lock, 10s, [&] { return dead >= 0; }))
+        << "peer death never reported";
+  }
+  std::this_thread::sleep_for(100ms);  // window for a (wrong) second fire
+  {
+    std::lock_guard lock(mtx);
+    EXPECT_EQ(dead, 1);
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(why.empty());
+  }
+  mesh[0]->shutdown();
+}
+
+TEST(TcpFailure, IdleHeartbeatsKeepSilentLinkAlive) {
+  // An idle but healthy mesh must NOT trip the silence deadline: the idle
+  // senders' heartbeats are the proof of life. Sit well past the timeout,
+  // then check the link still delivers.
+  auto mesh = makeMesh(2, 500ms);
+  std::atomic<int> deaths{0};
+  mesh[0]->onPeerFailure([&](int, const std::string&) { ++deaths; });
+  mesh[1]->onPeerFailure([&](int, const std::string&) { ++deaths; });
+
+  std::this_thread::sleep_for(1500ms);  // 3x the timeout of pure idleness
+  EXPECT_EQ(deaths.load(), 0);
+  EXPECT_GE(mesh[0]->heartbeatsSent(), 1u);
+  EXPECT_GE(mesh[1]->heartbeatsSent(), 1u);
+
+  mesh[0]->send(Message{0, 1, tag::kUser, toBytes(std::uint64_t{99})});
+  auto m = mesh[1]->recvWait(1, 2'000'000us);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(fromBytes<std::uint64_t>(std::move(m->payload)), 99u);
+
+  mesh[0]->shutdown();
+  mesh[1]->shutdown();
+}
+
 // ---- full engine over TCP: results identical to the simulated run --------
 
 namespace {
@@ -760,4 +927,73 @@ TEST(TcpEngine, DecisionShortCircuitCrossesRanks) {
         search(pr, inst, apps::cmst::rootNode(inst));
   });
   EXPECT_TRUE(tcp.decided);
+}
+
+TEST(TcpEngine, KilledRankAbortsSurvivorNamingDeadRank) {
+  // Kill-one-rank: rank 1 joins the mesh as a bare transport (so the start
+  // barrier passes) and then vanishes mid-run via abandon() - the closest a
+  // unit test gets to SIGKILL. Rank 0 runs a real search that can never
+  // terminate without rank 1's snapshot replies; without failure detection
+  // it would hang forever. It must instead abort within --peer-timeout-ms
+  // with a TransportError naming the dead rank.
+  apps::uts::Params tree;
+  tree.b0 = 4;
+  tree.maxDepth = 4;
+  tree.seed = 7;
+  const auto root = apps::uts::rootNode(tree);
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto peers = loopbackPeers(nextPortBase(), 2);
+
+    std::unique_ptr<TcpTransport> t1;
+    std::exception_ptr err1;
+    std::thread th1([&] {
+      try {
+        TcpConfig cfg;
+        cfg.rank = 1;
+        cfg.peers = peers;
+        cfg.connectTimeout = 5000ms;
+        cfg.peerTimeout = 500ms;
+        t1 = std::make_unique<TcpTransport>(cfg);  // blocks until mesh up
+        std::this_thread::sleep_for(300ms);        // let rank 0 start working
+        t1->abandon();
+      } catch (...) {
+        err1 = std::current_exception();
+      }
+    });
+
+    Params p;
+    p.transport = TransportKind::Tcp;
+    p.rank = 0;
+    p.peers = peers;
+    p.nLocalities = 2;
+    p.workersPerLocality = 2;
+    p.peerTimeoutMs = 500;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string aborted;
+    try {
+      skeletons::StackStealing<apps::uts::Gen,
+                               Enumeration<CountByDepth>>::search(p, tree,
+                                                                  root);
+    } catch (const TransportError& e) {
+      aborted = e.what();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    th1.join();
+
+    if (aborted.find("rank 1 died") != std::string::npos) {
+      // Detection latency: mesh formation + 300ms grace + the 500ms peer
+      // timeout, with generous slack for sanitizer builds. The hard claim
+      // is "seconds, not a 120s gather timeout or a hang".
+      EXPECT_LT(elapsed, 30s);
+      return;
+    }
+    // Port collision (either side failed to form the mesh): retry.
+    if (err1) continue;
+    if (aborted.empty()) {
+      FAIL() << "search completed despite a dead peer";
+    }
+  }
+  FAIL() << "could not bring up a mesh to kill a rank in";
 }
