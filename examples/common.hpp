@@ -56,6 +56,36 @@ inline Params paramsFromFlags(const Flags& f) {
     p.chunk.k = static_cast<std::uint32_t>(k);
   }
   p.decisionTarget = f.getInt("decisionBound", 0);
+  // Ordered-skeleton pool shaping (docs/FLAGS.md): --ordered-window bounds
+  // how far any worker may run ahead of the lowest outstanding sequence
+  // number ("inf" or a number; default inf), --ordered-shards picks the
+  // shard count (0 = one per worker), --ordered-pool global|sharded selects
+  // the single-heap oracle vs the sharded default. Only an explicit
+  // --ordered-pool touches p.pool, so non-Ordered skeletons keep theirs.
+  {
+    if (auto spec = f.raw("ordered-window")) {
+      if (*spec == "inf") {
+        p.orderedWindow = rt::kNoSeqWindow;
+      } else {
+        p.orderedWindow = f.getUint64("ordered-window", p.orderedWindow);
+      }
+    }
+    p.orderedShards =
+        static_cast<int>(f.getInt("ordered-shards", p.orderedShards));
+    if (p.orderedShards < 0) {
+      throw std::invalid_argument("--ordered-shards needs a count >= 0");
+    }
+    if (auto spec = f.raw("ordered-pool")) {
+      if (*spec == "global") {
+        p.pool = rt::PoolPolicy::Priority;
+      } else if (*spec == "sharded") {
+        p.pool = rt::PoolPolicy::PrioritySharded;
+      } else {
+        throw std::invalid_argument("unknown --ordered-pool " + *spec +
+                                    " (expected global|sharded)");
+      }
+    }
+  }
   // Link shaping, applied by rt::ShapedTransport on BOTH backends
   // (docs/FLAGS.md): --net-batch sizes the per-link send buffer (1 = flush
   // every send), --net-flush-us bounds how long a buffered message may

@@ -71,7 +71,26 @@ struct Params {
   std::int64_t decisionTarget = 0;
 
   // Workpool policy (DepthPool preserves heuristic order; see ablation A).
+  // The Ordered skeleton overrides this to PrioritySharded unless a priority
+  // policy was already requested explicitly (--ordered-pool global keeps
+  // the single-heap PriorityPool as the replicability oracle).
   rt::PoolPolicy pool = rt::PoolPolicy::Depth;
+
+  // Ordered/PrioritySharded: sequence window (--ordered-window). A worker
+  // may only run a task whose seq is within this distance of the lowest
+  // outstanding sequence number; rt::kNoSeqWindow = unbounded run-ahead
+  // (degenerates to the global PriorityPool's hand-out order).
+  std::uint64_t orderedWindow = rt::kNoSeqWindow;
+
+  // Ordered/PrioritySharded: shard count (--ordered-shards); 0 = one shard
+  // per worker thread.
+  int orderedShards = 0;
+
+  int effectiveOrderedShards() const {
+    return orderedShards > 0 ? orderedShards
+                             : (workersPerLocality > 0 ? workersPerLocality
+                                                       : 1);
+  }
 
   // Simulated transport configuration: send-buffer batching (--net-batch,
   // --net-flush-us), bounded per-link queues with back-pressure

@@ -78,7 +78,10 @@ class EngineCtx {
       : params_(params),
         locality_(net, id),
         term_(locality_, params.nLocalities),
-        pool_(rt::makeWorkpool<Task>(params.pool)),
+        pool_(rt::makeWorkpool<Task>(
+            params.pool,
+            rt::PoolConfig{params.effectiveOrderedShards(),
+                           params.orderedWindow, id})),
         space_(fromBytes<Space>(spaceBytes)) {
     reg_.loc = &locality_;
     reg_.decisionTarget = params.decisionTarget;
@@ -108,13 +111,17 @@ class EngineCtx {
   // ---- spawning ------------------------------------------------------
 
   // Spawn a task into the local workpool (all spawn rules push locally; work
-  // moves between localities only by stealing).
-  void spawn(Task task) {
+  // moves between localities only by stealing). `worker` attributes the push
+  // for shard routing in sharded pools; -1 = unattributed (round-robin),
+  // which is deliberate for the Ordered prefix expansion - its entire
+  // frontier is spawned by the one worker running the root task, and
+  // spreading it across shards is what removes the contention point.
+  void spawn(Task task, int worker = -1) {
     if (reg_.stop.load(std::memory_order_relaxed)) return;
     reg_.metrics.tasksSpawned.fetch_add(1, std::memory_order_relaxed);
     term_.taskCreated();
     int depth = task.depth;
-    pool_->push(std::move(task), depth);
+    pool_->push(std::move(task), depth, worker);
     // pool_->size() takes the pool lock; only pay for it when tracing.
     if (rt::trace::enabled()) {
       rt::trace::record(rt::trace::Ev::kPoolPush, id(),
@@ -693,7 +700,7 @@ struct Engine {
                           std::to_string(w));
     std::uint64_t taskSeq = 0;
     while (!ctx.term().finished()) {
-      if (auto task = ctx.pool().popWait(200us)) {
+      if (auto task = ctx.pool().popWait(200us, w)) {
         // The pop + span-open records are guarded as one: pool size is a
         // locking query, and an un-opened span must not be closed below.
         const bool traced = rt::trace::enabled();
@@ -761,6 +768,8 @@ struct Engine {
     for (auto& l : locs) {
       auto& reg = l->reg();
       out.metrics += reg.metrics.snapshot();
+      // Pool-side counter, not a Metrics atomic: read once, post-quiesce.
+      out.metrics.poolLockContentions += l->pool().lockContentions();
       // Workers have joined, but the guarded fields are read under their
       // locks anyway: the discipline is uniform, and the locks are free.
       if constexpr (SearchType::isEnumeration) {
@@ -789,6 +798,7 @@ struct Engine {
     auto& reg = ctx.reg();
     GatherMsg g;
     g.metrics = reg.metrics.snapshot();
+    g.metrics.poolLockContentions = ctx.pool().lockContentions();
     fillNetMetrics(g.metrics, net);
     g.truncated = reg.truncated.load() ? 1 : 0;
     if constexpr (SearchType::isEnumeration) {
@@ -815,6 +825,7 @@ struct Engine {
     fillNetMetrics(out.metrics, net);
     auto& reg = ctx.reg();
     out.metrics += reg.metrics.snapshot();
+    out.metrics.poolLockContentions += ctx.pool().lockContentions();
     if constexpr (SearchType::isEnumeration) {
       using M = typename SearchType::M;
       rt::LockGuard lock(reg.accMtx);

@@ -8,10 +8,17 @@
 //
 // The root task eagerly expands the tree to `dcutoff` in exact traversal
 // order, numbering each frontier subtree with its sequential index. Tasks
-// live in a strict priority pool (lowest sequence first, for pops and steals
+// live in an ordered pool (lowest sequence first, for pops and steals
 // alike), so execution order is always a prefix-parallelisation of the
 // Sequential skeleton's order. This bounds detrimental performance
 // anomalies: no worker can run far ahead of the sequential frontier.
+//
+// Two pool implementations provide the order: the single-heap PriorityPool
+// (one global mutex - the replicability oracle, selectable with
+// --ordered-pool global) and the default ShardedPriorityPool (per-worker
+// heaps + a sequence window bounding run-ahead, --ordered-window /
+// --ordered-shards; see workpool.hpp). tests/test_ordered.cpp pins the two
+// to byte-identical search results.
 
 #include "core/skeletons/engine.hpp"
 #include "core/skeletons/subtree_search.hpp"
@@ -75,6 +82,10 @@ struct Coord {
         expandPrefix(ctx, ws, child, depth + 1, seq);
       } else {
         typename Ctx::Task t{std::move(child), depth + 1, seq++};
+        // Deliberately unattributed (worker -1): the whole frontier is
+        // spawned by the one worker running the root task, so hashing by
+        // pusher would pile every task into a single shard of a sharded
+        // pool. Round-robin placement spreads the frontier instead.
         ctx.spawn(std::move(t));
       }
     }
@@ -92,7 +103,14 @@ struct Ordered {
   using Out = typename Eng::Out;
 
   static Out search(Params params, const Space& space, const Node& root) {
-    params.pool = rt::PoolPolicy::Priority;
+    // Default to the sharded ordered pool; an explicit Priority request
+    // (--ordered-pool global) keeps the single-heap pool as the
+    // replicability oracle, and an explicit PrioritySharded keeps whatever
+    // shard/window configuration the caller set.
+    if (params.pool != rt::PoolPolicy::Priority &&
+        params.pool != rt::PoolPolicy::PrioritySharded) {
+      params.pool = rt::PoolPolicy::PrioritySharded;
+    }
     if (params.dcutoff < 1) params.dcutoff = 1;
     return Eng::run(params, space, root);
   }

@@ -53,6 +53,11 @@ struct MetricsSnapshot {
   std::uint64_t stealReplies = 0;
   std::uint64_t boundBroadcasts = 0;
   std::uint64_t boundUpdatesApplied = 0;
+  // Contended workpool-lock acquisitions (a try_lock that failed before the
+  // blocking lock), summed over localities at gather time. Only the
+  // priority pools count them (rt::Workpool::lockContentions); the
+  // workpool-ablation bench compares global vs sharded pool pressure.
+  std::uint64_t poolLockContentions = 0;
   // Network totals, filled once at gather time from rt::Network (they are
   // fabric-wide, not per-locality). networkMessages counts logical sends;
   // networkFrames counts wire frames (one per batch flush), so
@@ -113,6 +118,7 @@ struct MetricsSnapshot {
     stealReplies += o.stealReplies;
     boundBroadcasts += o.boundBroadcasts;
     boundUpdatesApplied += o.boundUpdatesApplied;
+    poolLockContentions += o.poolLockContentions;
     networkMessages += o.networkMessages;
     networkBytes += o.networkBytes;
     networkFrames += o.networkFrames;
@@ -134,7 +140,8 @@ struct MetricsSnapshot {
   void save(OArchive& a) const {
     a << nodesProcessed << tasksSpawned << prunes << backtracks << localSteals
       << remoteSteals << failedSteals << stealReplies << boundBroadcasts
-      << boundUpdatesApplied << networkMessages << networkBytes
+      << boundUpdatesApplied << poolLockContentions << networkMessages
+      << networkBytes
       << networkFrames << networkBatched << networkImmediate << networkSpills
       << networkHeartbeats << linkQueueHighWater;
     for (auto c : netLatencyHist) a << c;
@@ -142,9 +149,10 @@ struct MetricsSnapshot {
   void load(IArchive& a) {
     a >> nodesProcessed >> tasksSpawned >> prunes >> backtracks >>
         localSteals >> remoteSteals >> failedSteals >> stealReplies >>
-        boundBroadcasts >> boundUpdatesApplied >> networkMessages >>
-        networkBytes >> networkFrames >> networkBatched >> networkImmediate >>
-        networkSpills >> networkHeartbeats >> linkQueueHighWater;
+        boundBroadcasts >> boundUpdatesApplied >> poolLockContentions >>
+        networkMessages >> networkBytes >> networkFrames >> networkBatched >>
+        networkImmediate >> networkSpills >> networkHeartbeats >>
+        linkQueueHighWater;
     for (auto& c : netLatencyHist) a >> c;
   }
 };

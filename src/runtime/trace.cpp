@@ -191,6 +191,12 @@ const char* evName(Ev k) {
       return "frame-recv";
     case Ev::kPeerDead:
       return "peer-dead";
+    case Ev::kShardPush:
+      return "shard-push";
+    case Ev::kShardPop:
+      return "shard-pop";
+    case Ev::kShardSteal:
+      return "shard-steal";
   }
   return "event";
 }

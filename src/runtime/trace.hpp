@@ -62,6 +62,10 @@ enum class Ev : std::uint16_t {
   kFrameSend = 16,      // a=destination rank, b=messages in the frame
   kFrameRecv = 17,      // a=source rank, b=payload bytes
   kPeerDead = 18,       // a=rank declared dead (tcp failure detection)
+  kShardPush = 19,      // sharded pool: a=shard id, b=task seq
+  kShardPop = 20,       // sharded pool: a=shard id, b=task seq
+  kShardSteal = 21,     // sharded pool: a=shard id, b=task seq (per task in
+                        // a chunk; the chunk itself shows as kStealAnswer)
 };
 
 // One fixed-size binary record. Plain data; serialized field-by-field via

@@ -51,9 +51,17 @@ inline constexpr std::uint32_t kMagic = 0x50574559u;  // "YEWP", little-endian
 // 256 MiB, but a desynchronized or hostile stream could claim to.
 inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
 
+// Manually bumped when a wire payload's field layout changes without any
+// tag-table change (e.g. a new MetricsSnapshot counter travelling inside
+// GatherMsg). The tag hash below cannot see layout edits, so this constant
+// is what keeps mixed-build meshes refused at handshake time in that case.
+// History: 1 = pre-PR9 layouts; 2 = MetricsSnapshot.poolLockContentions.
+inline constexpr std::uint32_t kPayloadLayoutVersion = 2;
+
 // Protocol version, derived from the rt::tag table: FNV-1a over every tag
-// value in declaration order. Adding, removing or renumbering a message tag
-// changes the version, so mixed-build meshes are refused at handshake time.
+// value in declaration order, plus kPayloadLayoutVersion. Adding, removing
+// or renumbering a message tag changes the version, so mixed-build meshes
+// are refused at handshake time.
 constexpr std::uint32_t protocolVersion() {
   constexpr int tags[] = {
       tag::kShutdownManager, tag::kSnapshotRequest, tag::kSnapshotReply,
@@ -68,6 +76,7 @@ constexpr std::uint32_t protocolVersion() {
   for (int t : tags) {
     h = (h ^ static_cast<std::uint32_t>(t)) * 16777619u;
   }
+  h = (h ^ kPayloadLayoutVersion) * 16777619u;
   return h;
 }
 

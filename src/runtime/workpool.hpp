@@ -30,6 +30,10 @@
 //                                            so there is no distinct steal
 //                                            end; a stolen chunk is handed
 //                                            out in ascending sequence order
+//   Sharded-      own shard's lowest, if     lowest sequence number across
+//   PriorityPool  within the sequence        all shards (always within the
+//                 window; else the lowest    window); a chunk is handed out
+//                 across all shards          in ascending sequence order
 //
 // All pools support chunked hand-out (steal replies carrying several tasks
 // in one message): stealMany(k) for an explicit count, stealChunk(policy)
@@ -48,6 +52,7 @@
 // result (tests/test_chunking.cpp).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -60,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/trace.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace yewpar::rt {
@@ -68,8 +74,14 @@ enum class PoolPolicy {
   Depth,      // order-preserving depth pool (YewPar default)
   DequeLifo,  // LIFO local pop (standard work-stealing deque)
   DequeFifo,  // FIFO local pop (centralised queue behaviour)
-  Priority,   // strict sequential-order priority pool (Ordered skeleton)
+  Priority,   // strict sequential-order priority pool (single global heap)
+  PrioritySharded,  // per-worker heaps + sequence window (Ordered default)
 };
+
+// Sequence window value meaning "no window": any task may be handed out
+// regardless of how far its sequence number runs ahead of the lowest
+// outstanding one. This is the ShardedPriorityPool default.
+inline constexpr std::uint64_t kNoSeqWindow = ~std::uint64_t{0};
 
 // How many tasks a single steal reply carries (paper Section 4.2's chunking
 // ablation, generalised from the boolean `chunked` flag to a policy). The
@@ -156,6 +168,30 @@ inline std::string chunkPolicyName(const ChunkPolicy& p) {
   return "?";
 }
 
+// LockGuard that counts contended acquisitions: a failed try_lock before
+// the blocking lock means another thread held the mutex at that instant.
+// The pools use it to expose lockContentions(), the mutex-hold pressure
+// metric that bench/ablation_workpool compares across pool designs. The
+// counter is relaxed - it is a diagnostic tally, not a synchronisation.
+class SCOPED_CAPABILITY CountingLockGuard {
+ public:
+  CountingLockGuard(Mutex& m, std::atomic<std::uint64_t>& contentions)
+      ACQUIRE(m)
+      : m_(m) {
+    if (!m_.try_lock()) {
+      contentions.fetch_add(1, std::memory_order_relaxed);
+      m_.lock();
+    }
+  }
+  ~CountingLockGuard() RELEASE() { m_.unlock(); }
+
+  CountingLockGuard(const CountingLockGuard&) = delete;
+  CountingLockGuard& operator=(const CountingLockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
 template <typename T>
 class Workpool {
  public:
@@ -163,6 +199,20 @@ class Workpool {
 
   virtual void push(T task, int depth) = 0;
   virtual std::optional<T> pop() = 0;
+
+  // Worker-attributed entry points. Sharding pools route on the worker id
+  // (a task pushed by worker w lands in w's shard; w's pops hit only w's
+  // shard lock); every other pool ignores the id and uses its single
+  // structure. Pass -1 for unattributed callers (the manager thread pushing
+  // a steal reply, the root task).
+  virtual void push(T task, int depth, int /*worker*/) {
+    push(std::move(task), depth);
+  }
+  virtual std::optional<T> pop(int /*worker*/) { return pop(); }
+
+  // Contended lock acquisitions observed by this pool since construction
+  // (0 for pools that do not track it). Monotone; read at any time.
+  virtual std::uint64_t lockContentions() const { return 0; }
 
   // Chunked steal for another worker/locality: up to `k` tasks in one
   // hand-out, taken from the policy's steal end (see the table above) and
@@ -188,15 +238,15 @@ class Workpool {
   // is held across the (internally locked) pop() calls, so waitMtx_ always
   // nests OUTSIDE the concrete pool's mtx_; push paths release mtx_ before
   // notifyWaiters() takes waitMtx_, so the two never invert.
-  std::optional<T> popWait(std::chrono::microseconds timeout)
+  std::optional<T> popWait(std::chrono::microseconds timeout, int worker = -1)
       EXCLUDES(waitMtx_) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     UniqueLock lock(waitMtx_);
     while (true) {
-      if (auto t = pop()) return t;
+      if (auto t = pop(worker)) return t;
       if (waitCv_.wait_until(lock.native(), deadline) ==
           std::cv_status::timeout) {
-        return pop();
+        return pop(worker);
       }
     }
   }
@@ -223,6 +273,11 @@ class Workpool {
 template <typename T>
 class DepthPool final : public Workpool<T> {
  public:
+  // Overriding the 2-arg signatures keeps the base's worker-attributed
+  // overloads (which delegate to these) visible.
+  using Workpool<T>::push;
+  using Workpool<T>::pop;
+
   void push(T task, int depth) override EXCLUDES(mtx_) {
     {
       LockGuard lock(mtx_);
@@ -300,6 +355,9 @@ class DepthPool final : public Workpool<T> {
 template <typename T>
 class DequePool final : public Workpool<T> {
  public:
+  using Workpool<T>::push;
+  using Workpool<T>::pop;
+
   explicit DequePool(bool lifoLocal) : lifoLocal_(lifoLocal) {}
 
   void push(T task, int /*depth*/) override EXCLUDES(mtx_) {
@@ -371,9 +429,12 @@ template <typename T>
   requires requires(T t) { t.seq; }
 class PriorityPool final : public Workpool<T> {
  public:
+  using Workpool<T>::push;
+  using Workpool<T>::pop;
+
   void push(T task, int /*depth*/) override EXCLUDES(mtx_) {
     {
-      LockGuard lock(mtx_);
+      CountingLockGuard lock(mtx_, contentions_);
       heap_.push_back(std::move(task));
       std::push_heap(heap_.begin(), heap_.end(), cmp);
     }
@@ -381,25 +442,32 @@ class PriorityPool final : public Workpool<T> {
   }
 
   std::optional<T> pop() override EXCLUDES(mtx_) {
-    LockGuard lock(mtx_);
+    CountingLockGuard lock(mtx_, contentions_);
     if (heap_.empty()) return std::nullopt;
     return takeTop();
   }
 
   std::vector<T> stealMany(std::size_t k) override EXCLUDES(mtx_) {
-    LockGuard lock(mtx_);
+    CountingLockGuard lock(mtx_, contentions_);
     return stealLocked(k);
   }
 
   std::vector<T> stealChunk(const ChunkPolicy& policy) override
       EXCLUDES(mtx_) {
-    LockGuard lock(mtx_);
+    CountingLockGuard lock(mtx_, contentions_);
     return stealLocked(policy.chunkFor(heap_.size()));
   }
 
   std::size_t size() const override EXCLUDES(mtx_) {
     LockGuard lock(mtx_);
     return heap_.size();
+  }
+
+  // Contended acquisitions on the one global mutex, across every task
+  // operation (size() telemetry reads are excluded so both priority pools
+  // count the same thing: task-path pressure).
+  std::uint64_t lockContentions() const override {
+    return contentions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -425,10 +493,260 @@ class PriorityPool final : public Workpool<T> {
 
   mutable Mutex mtx_;
   std::vector<T> heap_ GUARDED_BY(mtx_);
+  mutable std::atomic<std::uint64_t> contentions_{0};
+};
+
+// Sharded ordered pool: the scaling fix for the PriorityPool's single global
+// mutex (the Ordered skeleton's wall beyond ~8 workers) that keeps the
+// prefix-parallelisation property the paper's replicability argument rests
+// on. Structure:
+//
+//   - one min-heap *shard* per engine worker, each under its own mutex. A
+//     task pushed by worker w lands in shard w % nShards, so w's local pops
+//     normally touch only w's shard lock. Unattributed pushes (worker < 0:
+//     the root task, steal-reply reintegration by the manager thread, and
+//     the Ordered skeleton's bulk prefix expansion - all spawned by one
+//     thread) round-robin across shards to spread the initial frontier.
+//   - each shard *publishes* its current minimum sequence number in an
+//     atomic (kNoSeqWindow when empty), written under the shard lock on
+//     every heap change. The *low-water mark* - the lowest outstanding seq
+//     across the pool - is the min over these published values, computed by
+//     an O(shards) scan of relaxed-cost atomic loads, no locks.
+//   - the *sequence window* bounds run-ahead: a local pop may take its own
+//     shard's top only if top.seq <= lowWater + window (saturating).
+//     Otherwise - and for every steal - the pool hands out the globally
+//     lowest published task (lock one shard, re-verify, bounded retries).
+//     The global minimum is by definition within any window, so a pop on a
+//     non-empty pool always yields a task: the window shapes WHICH task
+//     runs next, never whether one runs (no starvation, window=0 included).
+//
+// Degenerate configurations are the test oracles (tests/test_ordered.cpp):
+// window=kNoSeqWindow never rejects a local top, so the pool behaves like
+// per-worker heaps with min-seeking steals and search results must be
+// byte-identical to the global PriorityPool; window=0 forces every pop to
+// the global minimum, i.e. near-sequential order.
+//
+// Concurrency caveat (documented, benign): the low-water scan is not
+// atomic with the subsequent take, so under concurrent pushes of *lower*
+// sequence numbers (remote steal replies) a task can be handed out that a
+// later scan would have called ineligible. The window is a run-ahead bound
+// against the state observed at pop time - exact in any quiescent or
+// single-consumer interval - not a serialized global invariant; replicable
+// search needs only the hand-out *preference* for low sequence numbers,
+// which every path here preserves.
+template <typename T>
+  requires requires(T t) { t.seq; }
+class ShardedPriorityPool final : public Workpool<T> {
+ public:
+  explicit ShardedPriorityPool(int shards = 1,
+                               std::uint64_t window = kNoSeqWindow,
+                               int traceRank = 0)
+      : window_(window), traceRank_(traceRank) {
+    const int n = shards > 0 ? shards : 1;
+    shards_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  int shardCount() const { return static_cast<int>(shards_.size()); }
+  std::uint64_t window() const { return window_; }
+
+  // Lowest outstanding sequence number across all shards (kNoSeqWindow when
+  // the pool is empty). Lock-free scan of the published per-shard minima;
+  // the cached copy is refreshed as a side effect so telemetry can read
+  // lastLowWaterMark() without rescanning.
+  std::uint64_t lowWaterMark() const {
+    std::uint64_t lw = kNoSeqWindow;
+    for (const auto& s : shards_) {
+      lw = std::min(lw, s->minSeq.load(std::memory_order_acquire));
+    }
+    lowWater_.store(lw, std::memory_order_relaxed);
+    return lw;
+  }
+  std::uint64_t lastLowWaterMark() const {
+    return lowWater_.load(std::memory_order_relaxed);
+  }
+
+  void push(T task, int depth, int worker) override {
+    const int shard = worker >= 0
+                          ? worker % shardCount()
+                          : static_cast<int>(
+                                rr_.fetch_add(1, std::memory_order_relaxed) %
+                                static_cast<std::uint64_t>(shardCount()));
+    (void)depth;
+    pushTo(shard, std::move(task));
+  }
+  void push(T task, int depth) override { push(std::move(task), depth, -1); }
+
+  std::optional<T> pop(int worker) override {
+    if (worker >= 0) {
+      Shard& own = *shards_[static_cast<std::size_t>(worker % shardCount())];
+      // Fast path: the owner's shard top, if within the window. One lock.
+      std::optional<T> t = popOwn(own);
+      if (t) {
+        trace::record(trace::Ev::kShardPop, traceRank_,
+                      static_cast<std::uint64_t>(worker % shardCount()),
+                      t->seq);
+        return t;
+      }
+    }
+    std::optional<T> t = popMin();
+    if (t) {
+      trace::record(trace::Ev::kShardPop, traceRank_,
+                    static_cast<std::uint64_t>(lastTakenShard_.load(
+                        std::memory_order_relaxed)),
+                    t->seq);
+    }
+    return t;
+  }
+  std::optional<T> pop() override { return pop(-1); }
+
+  // Steals always take the globally lowest published task, one shard lock
+  // per task; a chunk is sorted ascending before hand-out so a thief
+  // replaying it through its own pool preserves the global order even when
+  // concurrent pushes interleave lower sequence numbers mid-grab.
+  std::vector<T> stealMany(std::size_t k) override {
+    std::vector<T> out;
+    out.reserve(std::min(k, size()));
+    while (out.size() < k) {
+      auto t = popMin();
+      if (!t) break;
+      trace::record(trace::Ev::kShardSteal, traceRank_,
+                    static_cast<std::uint64_t>(
+                        lastTakenShard_.load(std::memory_order_relaxed)),
+                    t->seq);
+      out.push_back(std::move(*t));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const T& a, const T& b) { return a.seq < b.seq; });
+    return out;
+  }
+
+  std::vector<T> stealChunk(const ChunkPolicy& policy) override {
+    // Unlike the single-mutex pools there is no one lock to size under;
+    // the atomic total is the occupancy snapshot. Half/Adaptive sizing from
+    // a count that moves under us is already approximate by design.
+    return stealMany(policy.chunkFor(size()));
+  }
+
+  std::size_t size() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  // Contended shard-lock acquisitions, summed over all shards.
+  std::uint64_t lockContentions() const override {
+    return contentions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable Mutex mtx;
+    std::vector<T> heap GUARDED_BY(mtx);
+    // Published copy of heap.front().seq (kNoSeqWindow when empty), stored
+    // under mtx on every heap change, read lock-free by the low-water scan.
+    std::atomic<std::uint64_t> minSeq{kNoSeqWindow};
+  };
+
+  static bool cmp(const T& a, const T& b) { return a.seq > b.seq; }
+
+  // seq is eligible against low-water mark lw under this pool's window.
+  bool eligible(std::uint64_t seq, std::uint64_t lw) const {
+    if (window_ == kNoSeqWindow) return true;
+    if (lw == kNoSeqWindow) return true;  // nothing else outstanding
+    const std::uint64_t limit =
+        lw + window_ >= lw ? lw + window_ : kNoSeqWindow;  // saturate
+    return seq <= limit;
+  }
+
+  void pushTo(int shard, T task) {
+    Shard& s = *shards_[static_cast<std::size_t>(shard)];
+    const std::uint64_t seq = task.seq;
+    {
+      CountingLockGuard lock(s.mtx, contentions_);
+      s.heap.push_back(std::move(task));
+      std::push_heap(s.heap.begin(), s.heap.end(), cmp);
+      s.minSeq.store(s.heap.front().seq, std::memory_order_release);
+    }
+    count_.fetch_add(1, std::memory_order_release);
+    trace::record(trace::Ev::kShardPush, traceRank_,
+                  static_cast<std::uint64_t>(shard), seq);
+    this->notifyWaiters();
+  }
+
+  // Owner fast path: take own's top if eligible. Scans the published minima
+  // only when the window is finite (window=kNoSeqWindow skips straight to
+  // the take); takes own's lock exactly once either way.
+  std::optional<T> popOwn(Shard& own) {
+    const std::uint64_t lw =
+        window_ == kNoSeqWindow ? kNoSeqWindow : lowWaterMark();
+    CountingLockGuard lock(own.mtx, contentions_);
+    if (own.heap.empty()) return std::nullopt;
+    if (!eligible(own.heap.front().seq, lw)) return std::nullopt;
+    return takeTopLocked(own);
+  }
+
+  // Global-minimum pop: scan the published minima, lock the argmin shard,
+  // re-verify, retry if it drained between scan and lock. The retry loop
+  // terminates: each retry means another consumer took a task, and a pass
+  // over all shards finding every published minimum empty means the pool
+  // was observably empty at that instant.
+  std::optional<T> popMin() {
+    while (true) {
+      int best = -1;
+      std::uint64_t bestSeq = kNoSeqWindow;
+      for (int i = 0; i < shardCount(); ++i) {
+        const std::uint64_t m =
+            shards_[static_cast<std::size_t>(i)]->minSeq.load(
+                std::memory_order_acquire);
+        if (m < bestSeq) {
+          bestSeq = m;
+          best = i;
+        }
+      }
+      if (best < 0) return std::nullopt;  // every shard published empty
+      Shard& s = *shards_[static_cast<std::size_t>(best)];
+      CountingLockGuard lock(s.mtx, contentions_);
+      if (s.heap.empty()) continue;  // drained between scan and lock
+      lastTakenShard_.store(best, std::memory_order_relaxed);
+      return takeTopLocked(s);
+    }
+  }
+
+  // Caller holds s.mtx and guarantees the heap is non-empty.
+  T takeTopLocked(Shard& s) REQUIRES(s.mtx) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), cmp);
+    T t = std::move(s.heap.back());
+    s.heap.pop_back();
+    s.minSeq.store(s.heap.empty() ? kNoSeqWindow : s.heap.front().seq,
+                   std::memory_order_release);
+    count_.fetch_sub(1, std::memory_order_release);
+    return t;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;  // set in ctor, then const
+  const std::uint64_t window_;
+  const int traceRank_;
+  std::atomic<std::uint64_t> rr_{0};       // round-robin for worker < 0
+  std::atomic<std::size_t> count_{0};      // total tasks across shards
+  mutable std::atomic<std::uint64_t> lowWater_{kNoSeqWindow};
+  mutable std::atomic<std::uint64_t> contentions_{0};
+  // Shard index of the last popMin take, for trace attribution only (racy
+  // between concurrent consumers; a trace label, not a protocol input).
+  std::atomic<int> lastTakenShard_{0};
+};
+
+// Construction-time pool configuration beyond the policy choice. Only the
+// sharded priority pool reads it today; other pools ignore it.
+struct PoolConfig {
+  int shards = 1;                          // ShardedPriorityPool shard count
+  std::uint64_t seqWindow = kNoSeqWindow;  // sequence window (default: off)
+  int traceRank = 0;  // locality id stamped on pool trace events
 };
 
 template <typename T>
-std::unique_ptr<Workpool<T>> makeWorkpool(PoolPolicy p) {
+std::unique_ptr<Workpool<T>> makeWorkpool(PoolPolicy p,
+                                          const PoolConfig& cfg = {}) {
   switch (p) {
     case PoolPolicy::DequeLifo: return std::make_unique<DequePool<T>>(true);
     case PoolPolicy::DequeFifo: return std::make_unique<DequePool<T>>(false);
@@ -436,7 +754,21 @@ std::unique_ptr<Workpool<T>> makeWorkpool(PoolPolicy p) {
       if constexpr (requires(T t) { t.seq; }) {
         return std::make_unique<PriorityPool<T>>();
       } else {
-        return std::make_unique<DepthPool<T>>();
+        // Deliberately a runtime error, not a static_assert: the policy is
+        // a runtime switch, so every branch is instantiated for every task
+        // type. Silently substituting a DepthPool here (the old behaviour)
+        // hid misconfigurations that voided the ordering guarantee.
+        throw std::invalid_argument(
+            "PoolPolicy::Priority requires a task type with a .seq member");
+      }
+    case PoolPolicy::PrioritySharded:
+      if constexpr (requires(T t) { t.seq; }) {
+        return std::make_unique<ShardedPriorityPool<T>>(
+            cfg.shards, cfg.seqWindow, cfg.traceRank);
+      } else {
+        throw std::invalid_argument(
+            "PoolPolicy::PrioritySharded requires a task type with a .seq "
+            "member");
       }
     case PoolPolicy::Depth: default: return std::make_unique<DepthPool<T>>();
   }

@@ -33,6 +33,7 @@ std::string configName(const Config& c) {
     case rt::PoolPolicy::DequeLifo: s += "_Lifo"; break;
     case rt::PoolPolicy::DequeFifo: s += "_Fifo"; break;
     case rt::PoolPolicy::Priority: s += "_Prio"; break;
+    case rt::PoolPolicy::PrioritySharded: s += "_PrioSh"; break;
   }
   return s;
 }

@@ -292,6 +292,172 @@ TEST(PriorityPool, StealManyHandsOutAscendingSeq) {
   EXPECT_TRUE(pool.stealMany(1).empty());
 }
 
+TEST(ShardedPriorityPool, WindowGatesOwnShardPop) {
+  // Worker 0's shard holds seq 100, worker 1's holds seq 0. With a window
+  // of 10, worker 0 may not run 100 while 0 is outstanding: its pop falls
+  // through to the global minimum. Once 0 is gone, 100 becomes the low-water
+  // mark itself and is eligible.
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/2, /*window=*/10);
+  pool.push(SeqTask{100}, 0, /*worker=*/0);
+  pool.push(SeqTask{0}, 0, /*worker=*/1);
+  EXPECT_EQ(pool.lowWaterMark(), 0u);
+  EXPECT_EQ(pool.pop(0).value().seq, 0u);
+  EXPECT_EQ(pool.lowWaterMark(), 100u);
+  EXPECT_EQ(pool.pop(0).value().seq, 100u);
+  EXPECT_FALSE(pool.pop(0).has_value());
+  EXPECT_EQ(pool.lowWaterMark(), kNoSeqWindow);
+}
+
+TEST(ShardedPriorityPool, InfiniteWindowPopsOwnShardFirst) {
+  // Window off: the owner's shard top is always eligible, so worker 0 runs
+  // its own seq 100 even though seq 0 sits in another shard - exactly the
+  // run-ahead the window exists to bound.
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/2, kNoSeqWindow);
+  pool.push(SeqTask{100}, 0, /*worker=*/0);
+  pool.push(SeqTask{0}, 0, /*worker=*/1);
+  EXPECT_EQ(pool.pop(0).value().seq, 100u);
+  // An empty own shard still finds work elsewhere.
+  EXPECT_EQ(pool.pop(0).value().seq, 0u);
+}
+
+TEST(ShardedPriorityPool, WindowZeroForcesGlobalOrder) {
+  // Window 0: every pop takes the global minimum regardless of the popping
+  // worker, i.e. near-sequential order - and a pop never fails on a
+  // non-empty pool (the window shapes WHICH task runs, not whether).
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/4, /*window=*/0);
+  for (std::uint64_t s : {7u, 2u, 9u, 0u, 5u, 3u}) {
+    pool.push(SeqTask{s}, 0, static_cast<int>(s % 4));
+  }
+  std::uint64_t expect[] = {0, 2, 3, 5, 7, 9};
+  for (int i = 0; i < 6; ++i) {
+    auto t = pool.pop(/*worker=*/i % 4);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->seq, expect[i]);
+  }
+  EXPECT_FALSE(pool.pop(0).has_value());
+}
+
+TEST(ShardedPriorityPool, UnattributedPushesRoundRobinAcrossShards) {
+  // Worker < 0 pushes (root task, steal replies, the Ordered prefix
+  // expansion) spread round-robin: with 4 shards and 4 pushes, shard i
+  // holds seq i, so under an infinite window each worker's own-shard pop
+  // returns its own index.
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/4, kNoSeqWindow);
+  for (std::uint64_t s = 0; s < 4; ++s) pool.push(SeqTask{s}, 0);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(pool.pop(w).value().seq, static_cast<std::uint64_t>(w));
+  }
+}
+
+TEST(ShardedPriorityPool, StealManyHandsOutAscendingSeqAcrossShards) {
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/3, /*window=*/4);
+  for (std::uint64_t s : {5u, 1u, 4u, 2u, 3u, 0u}) {
+    pool.push(SeqTask{s}, 0, static_cast<int>(s % 3));
+  }
+  auto chunk = pool.stealMany(4);
+  ASSERT_EQ(chunk.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(chunk[i].seq, i);
+  // Steals and pops agree on where the order left off.
+  EXPECT_EQ(pool.pop().value().seq, 4u);
+  auto rest = pool.stealMany(10);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seq, 5u);
+  EXPECT_TRUE(pool.stealMany(1).empty());
+}
+
+TEST(ShardedPriorityPool, StealChunkSizesFromTotalOccupancy) {
+  // Half sizes from the pool-wide count, not one shard's: 8 tasks across 2
+  // shards hand out a 4-task ascending chunk.
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/2, kNoSeqWindow);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    pool.push(SeqTask{s}, 0, static_cast<int>(s % 2));
+  }
+  auto chunk = pool.stealChunk(ChunkPolicy{ChunkKind::Half, 0});
+  ASSERT_EQ(chunk.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(chunk[i].seq, i);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(Workpool, MakeWorkpoolRejectsPriorityPoliciesWithoutSeq) {
+  // Pinned: both priority policies on a task type without .seq are a
+  // configuration error, not a silent DepthPool substitution (which voided
+  // the ordering guarantee the caller asked for).
+  EXPECT_THROW(makeWorkpool<int>(PoolPolicy::Priority), std::invalid_argument);
+  EXPECT_THROW(makeWorkpool<int>(PoolPolicy::PrioritySharded),
+               std::invalid_argument);
+  // Seq-carrying tasks get real priority pools via the same factory.
+  auto global = makeWorkpool<SeqTask>(PoolPolicy::Priority);
+  auto sharded = makeWorkpool<SeqTask>(PoolPolicy::PrioritySharded,
+                                       PoolConfig{4, 16, 0});
+  global->push(SeqTask{3}, 0);
+  global->push(SeqTask{1}, 0);
+  EXPECT_EQ(global->pop().value().seq, 1u);
+  sharded->push(SeqTask{3}, 0, 2);
+  sharded->push(SeqTask{1}, 0, 3);
+  EXPECT_EQ(sharded->pop(0).value().seq, 1u);
+}
+
+TEST(ShardedPriorityPool, ConcurrentPushersAndStealersLoseNothing) {
+  // N attributed pushers + 1 unattributed (steal-reply style) pusher race
+  // M chunked stealers and a local popper (the CI TSan lane runs this
+  // suite). Every task is handed out exactly once, and every stolen chunk
+  // arrives ascending in seq.
+  ShardedPriorityPool<SeqTask> pool(/*shards=*/4, /*window=*/64);
+  constexpr int kPushers = 3;  // workers 0..2 plus the unattributed pusher
+  constexpr std::uint64_t kPerPusher = 3000;
+  std::atomic<std::uint64_t> taken{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> chunksAscending{true};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPushers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerPusher; ++i) {
+        // Disjoint seq ranges per pusher; values do not matter, uniqueness
+        // and the per-chunk ascending check do.
+        pool.push(SeqTask{static_cast<std::uint64_t>(p) * kPerPusher + i}, 0,
+                  p);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (std::uint64_t i = 0; i < kPerPusher; ++i) {
+      pool.push(SeqTask{3 * kPerPusher + i}, 0);  // worker -1: round-robin
+    }
+  });
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto chunk = pool.stealMany(7);
+        for (std::size_t i = 1; i < chunk.size(); ++i) {
+          if (chunk[i - 1].seq >= chunk[i].seq) chunksAscending.store(false);
+        }
+        if (!chunk.empty()) taken.fetch_add(chunk.size());
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      if (pool.pop(/*worker=*/0)) taken.fetch_add(1);
+    }
+  });
+  constexpr std::uint64_t kTotal = (kPushers + 1) * kPerPusher;
+  for (int p = 0; p < kPushers + 1; ++p) threads[static_cast<std::size_t>(p)].join();
+  while (taken.load() + pool.size() < kTotal) std::this_thread::yield();
+  stop.store(true);
+  for (std::size_t t = kPushers + 1; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+  while (pool.pop()) taken.fetch_add(1);
+  EXPECT_EQ(taken.load(), kTotal);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(chunksAscending.load());
+  // Exhaustion: every hand-out path agrees the pool is dry.
+  EXPECT_FALSE(pool.pop(0).has_value());
+  EXPECT_FALSE(pool.pop().has_value());
+  EXPECT_TRUE(pool.stealMany(5).empty());
+  EXPECT_EQ(pool.lowWaterMark(), kNoSeqWindow);
+}
+
 TEST(DepthPool, ConcurrentChunkedStealersLoseNothing) {
   // Chunked-steal stress (the CI TSan lane runs this suite): producers push
   // while two thieves stealMany(7) and one local worker pops; every task
