@@ -14,6 +14,7 @@
 #include "apps/maxclique/graph.hpp"
 #include "apps/maxclique/maxclique.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/transport/wire.hpp"
 #include "runtime/workpool.hpp"
@@ -160,6 +161,32 @@ void BM_TraceRecordEnabled(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceRecordEnabled);
 
+void BM_PhaseTimerDisabled(benchmark::State& state) {
+  // The cost a worker-loop phase boundary pays outside an engine run: the
+  // clock is never based, so every lap() is the enabled() load + a branch.
+  rt::prof::WorkerProfile w;
+  rt::prof::PhaseClock clock;
+  clock.start();
+  for (auto _ : state) {
+    clock.lap(w, rt::prof::Phase::kWorking);
+  }
+  benchmark::DoNotOptimize(w.get(rt::prof::Phase::kWorking));
+}
+BENCHMARK(BM_PhaseTimerDisabled);
+
+void BM_PhaseTimerEnabled(benchmark::State& state) {
+  // The armed boundary: one steady_clock read + one relaxed fetch_add.
+  rt::prof::ArmScope armed;
+  rt::prof::WorkerProfile w;
+  rt::prof::PhaseClock clock;
+  clock.start();
+  for (auto _ : state) {
+    clock.lap(w, rt::prof::Phase::kWorking);
+  }
+  benchmark::DoNotOptimize(w.get(rt::prof::Phase::kWorking));
+}
+BENCHMARK(BM_PhaseTimerEnabled);
+
 // The regression gate behind the "zero overhead when disabled" claim: the
 // minimum over kReps timed batches bounds scheduler noise from above, and
 // the threshold is generous enough for an emulated CI host yet far below
@@ -199,6 +226,52 @@ bool checkTraceDisabledOverhead() {
   return true;
 }
 
+// The same contract for the phase timer (runtime/profile.hpp): with no
+// engine run armed, a worker-loop phase boundary must stay a relaxed load
+// and a branch - no clock read.
+bool checkPhaseTimerDisabledOverhead() {
+  constexpr int kReps = 10;
+  constexpr std::uint64_t kLaps = 1'000'000;
+  constexpr double kMaxNanosPerLap = 5.0;
+  if (rt::prof::enabled()) {
+    std::fprintf(stderr,
+                 "phase gate: profiling is still armed; cannot measure the "
+                 "disabled path\n");
+    return false;
+  }
+  rt::prof::WorkerProfile w;
+  rt::prof::PhaseClock clock;
+  clock.start();
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kLaps; ++i) {
+      clock.lap(w, rt::prof::Phase::kWorking);
+    }
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    const double per = static_cast<double>(dt) / static_cast<double>(kLaps);
+    if (per < best) best = per;
+  }
+  std::printf("phase gate: disabled-path lap() = %.3f ns/lap "
+              "(threshold %.1f)\n",
+              best, kMaxNanosPerLap);
+  if (w.get(rt::prof::Phase::kWorking) != 0) {
+    std::fprintf(stderr,
+                 "phase gate FAILED: disabled laps recorded time\n");
+    return false;
+  }
+  if (best > kMaxNanosPerLap) {
+    std::fprintf(stderr,
+                 "phase gate FAILED: disabled-path lap() costs %.3f ns/lap, "
+                 "above the %.1f ns contract\n",
+                 best, kMaxNanosPerLap);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -206,5 +279,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return checkTraceDisabledOverhead() ? 0 : 1;
+  // Evaluate both gates unconditionally: a && short-circuit would let a
+  // trace regression mask a phase-timer one in the same run.
+  const bool traceOk = checkTraceDisabledOverhead();
+  const bool phaseOk = checkPhaseTimerDisabledOverhead();
+  return traceOk && phaseOk ? 0 : 1;
 }

@@ -154,6 +154,22 @@ inline Params paramsFromFlags(const Flags& f) {
   p.traceFile = f.getString("trace", "");
   p.sampleIntervalMs = f.getUint64("sample-interval-ms", 0);
   p.sampleCsv = f.getString("sample-csv", "");
+  // Live status endpoint and health watchdog (docs/FLAGS.md):
+  // --status-port N serves GET /metrics, /status.json and /healthz (under
+  // tcp, rank r listens on N + r); --status-linger-ms keeps serving that
+  // long after the search so scrapers can read the final counters;
+  // --health-interval-ms N runs the watchdog at that cadence;
+  // --stall-warn-ms M arms its stalled-incumbent rule.
+  {
+    const auto port = f.getInt("status-port", -1);
+    if (port > 65535) {
+      throw std::invalid_argument("--status-port needs a port <= 65535");
+    }
+    p.statusPort = static_cast<int>(port);
+    p.statusLingerMs = f.getUint64("status-linger-ms", 0);
+    p.healthIntervalMs = f.getUint64("health-interval-ms", 0);
+    p.stallWarnMs = f.getUint64("stall-warn-ms", 0);
+  }
   return p;
 }
 
@@ -262,6 +278,18 @@ void printMetrics(const Out& out) {
               static_cast<unsigned long long>(out.metrics.boundBroadcasts),
               static_cast<unsigned long long>(
                   out.metrics.boundUpdatesApplied));
+  // Only interesting when non-zero: contended pool locks mean the team is
+  // hammering one shard, and health warnings mean the watchdog fired.
+  if (out.metrics.poolLockContentions != 0) {
+    std::printf("pool:      %llu contended lock acquisitions\n",
+                static_cast<unsigned long long>(
+                    out.metrics.poolLockContentions));
+  }
+  if (out.metrics.healthWarnings != 0) {
+    std::printf("health:    %llu watchdog warnings\n",
+                static_cast<unsigned long long>(out.metrics.healthWarnings));
+  }
+  rt::prof::printPhaseTable(out.profiles);
 }
 
 }  // namespace yewpar::examples

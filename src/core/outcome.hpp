@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "runtime/metrics.hpp"
+#include "runtime/profile.hpp"
 #include "core/searchtypes.hpp"
 
 namespace yewpar {
@@ -37,6 +39,10 @@ struct Outcome {
 
   rt::MetricsSnapshot metrics;
   double elapsedSeconds = 0.0;
+
+  // Per-rank phase accounting (one snapshot per locality, rank order; see
+  // runtime/profile.hpp). Empty on the non-root outcomes of a TCP run.
+  std::vector<rt::prof::ProfileSnapshot> profiles;
 };
 
 namespace detail {

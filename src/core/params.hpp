@@ -148,6 +148,25 @@ struct Params {
   std::string effectiveSampleCsv() const {
     return sampleCsv.empty() ? std::string("telemetry.csv") : sampleCsv;
   }
+
+  // Live status endpoint (--status-port; runtime/statusd.hpp). -1 = off.
+  // Under Sim one server reports every locality; under Tcp rank r serves
+  // statusPort + r (mirroring launch_local.sh's base-port + rank scheme).
+  int statusPort = -1;
+
+  // Keep serving the status endpoint for this long after the search
+  // finishes (--status-linger-ms), so a scraper can read the final,
+  // quiesced counters before the process exits. 0 = stop immediately.
+  std::uint64_t statusLingerMs = 0;
+
+  // Health watchdog cadence (--health-interval-ms; runtime/health.hpp).
+  // 0 = watchdog off.
+  std::uint64_t healthIntervalMs = 0;
+
+  // Stalled-incumbent health rule: warn when the incumbent has not improved
+  // for this long (--stall-warn-ms). 0 = rule off (only the caller knows
+  // whether a long quiet stretch is normal for the workload).
+  std::uint64_t stallWarnMs = 0;
 };
 
 }  // namespace yewpar

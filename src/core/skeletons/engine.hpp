@@ -12,9 +12,11 @@
 // only through serialized messages (tasks, bounds, steals, termination
 // snapshots) - see docs/ARCHITECTURE.md "Message lifecycle".
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "core/nodegen.hpp"
@@ -22,8 +24,11 @@
 #include "core/params.hpp"
 #include "core/search_ops.hpp"
 #include "runtime/channel.hpp"
+#include "runtime/health.hpp"
 #include "runtime/locality.hpp"
 #include "runtime/network.hpp"
+#include "runtime/profile.hpp"
+#include "runtime/statusd.hpp"
 #include "runtime/steal_slot.hpp"
 #include "runtime/trace.hpp"
 #include "runtime/transport/shaping.hpp"
@@ -82,10 +87,12 @@ class EngineCtx {
             params.pool,
             rt::PoolConfig{params.effectiveOrderedShards(),
                            params.orderedWindow, id})),
+        profile_(params.workersPerLocality),
         space_(fromBytes<Space>(spaceBytes)) {
     reg_.loc = &locality_;
     reg_.decisionTarget = params.decisionTarget;
     reg_.maxNodes = params.maxNodes;
+    locality_.setManagerProfile(&profile_.manager());
 
     workers_.reserve(static_cast<std::size_t>(params.workersPerLocality));
     for (int w = 0; w < params.workersPerLocality; ++w) {
@@ -107,6 +114,31 @@ class EngineCtx {
   const Space& space() const { return space_; }
   std::vector<std::unique_ptr<WorkerState>>& workers() { return workers_; }
   int id() const { return locality_.id(); }
+  rt::prof::Profile& profile() { return profile_; }
+  rt::health::Watchdog& health() { return health_; }
+
+  // Start the health watchdog over this locality's live state (no-op when
+  // --health-interval-ms is 0). Call after construction, before workers;
+  // stopHealth() before gathering so firing counts are final.
+  void startHealth() {
+    if (params_.healthIntervalMs == 0) return;
+    rt::health::Config cfg;
+    cfg.interval = std::chrono::milliseconds(params_.healthIntervalMs);
+    cfg.stallWarn = std::chrono::milliseconds(params_.stallWarnMs);
+    rt::health::Probe probe;
+    probe.profile = [this] { return profile_.snapshot(id(), 0); };
+    probe.failedSteals = [this] {
+      return reg_.metrics.failedSteals.load(std::memory_order_relaxed);
+    };
+    probe.objective = [this] {
+      return reg_.localBound.load(std::memory_order_relaxed);
+    };
+    probe.objectiveNone = kObjMin;
+    probe.lastProbeNanos = [this] { return term_.lastProbeNanos(); };
+    probe.searchActive = [this] { return !term_.finished(); };
+    health_.start(cfg, std::move(probe), id());
+  }
+  void stopHealth() { health_.stop(); }
 
   // ---- spawning ------------------------------------------------------
 
@@ -194,6 +226,7 @@ class EngineCtx {
   // enumeration accumulator, and the locality's best incumbent.
   struct GatherMsg {
     rt::MetricsSnapshot metrics;
+    rt::prof::ProfileSnapshot profile;
     std::uint8_t truncated = 0;
     typename Ops::EnumValue sum{};
     std::uint8_t hasIncumbent = 0;
@@ -201,12 +234,12 @@ class EngineCtx {
     std::int64_t objective = kObjMin;
 
     void save(OArchive& a) const {
-      a << metrics << truncated << sum << hasIncumbent << incumbent
-        << objective;
+      a << metrics << profile << truncated << sum << hasIncumbent
+        << incumbent << objective;
     }
     void load(IArchive& a) {
-      a >> metrics >> truncated >> sum >> hasIncumbent >> incumbent >>
-          objective;
+      a >> metrics >> profile >> truncated >> sum >> hasIncumbent >>
+          incumbent >> objective;
     }
   };
 
@@ -367,6 +400,8 @@ class EngineCtx {
   rt::Locality locality_;
   rt::TerminationDetector term_;
   std::unique_ptr<rt::Workpool<Task>> pool_;
+  rt::prof::Profile profile_;
+  rt::health::Watchdog health_;
   Reg reg_;
   Space space_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
@@ -407,6 +442,9 @@ struct Engine {
     // Armed before the transport and localities exist so every thread they
     // spawn registers its trace buffer inside this session.
     rt::trace::SessionScope traceScope(!params.traceFile.empty());
+    // Phase accounting is always on during a run; only the disarmed
+    // fast path (Sequential skeleton, benches) skips the clock reads.
+    rt::prof::ArmScope profScope;
 
     rt::InProcTransport net(params.nLocalities, params.effectiveNet());
     std::vector<std::unique_ptr<Ctx>> locs;
@@ -415,6 +453,23 @@ struct Engine {
       locs.push_back(std::make_unique<Ctx>(net, i, params, spaceBytes));
     }
     for (auto& l : locs) l->locality().start();
+
+    // One status server reports every simulated locality (runtime/statusd).
+    rt::statusd::StatusServer statusServer;
+    const std::uint64_t runStartNanos = rt::prof::nowNanos();
+    if (params.statusPort >= 0) {
+      statusServer.start(static_cast<std::uint16_t>(params.statusPort),
+                         [&locs, &net, &params, runStartNanos] {
+                           std::vector<rt::statusd::RankStatus> rows;
+                           rows.reserve(locs.size());
+                           for (auto& l : locs) {
+                             rows.push_back(rankStatus(*l, net, params,
+                                                       runStartNanos));
+                           }
+                           return rows;
+                         });
+    }
+    for (auto& l : locs) l->startHealth();
 
     // Root task: count it before the leader starts polling, so the detector
     // never observes the initial 0 == 0 state.
@@ -437,6 +492,7 @@ struct Engine {
                     });
     }
 
+    const std::uint64_t teamStartNanos = rt::prof::nowNanos();
     {
       std::vector<std::unique_ptr<rt::WorkerTeam>> teams;
       teams.reserve(locs.size());
@@ -448,7 +504,12 @@ struct Engine {
       }
       // Teams join in ~WorkerTeam once every locality's detector fired.
     }
+    // The wall the phase table is measured against: the worker team's
+    // lifetime, not the whole run (mesh setup/teardown is not worker time).
+    const std::uint64_t teamWallNanos =
+        rt::prof::nowNanos() - teamStartNanos;
 
+    for (auto& l : locs) l->stopHealth();  // firing counts final pre-gather
     sampler.stop();  // takes the final sample; workers have quiesced
     for (auto& l : locs) l->term().stop();
     for (auto& l : locs) l->locality().stop();
@@ -467,7 +528,18 @@ struct Engine {
                                  {rt::trace::session().collect(-1)});
     }
 
-    return gather(params, locs, timer.elapsedSeconds(), net);
+    auto out = gather(params, locs, timer.elapsedSeconds(), net,
+                      teamWallNanos);
+    if (statusServer.running()) {
+      // Let scrapers read the final, quiesced counters before the endpoint
+      // disappears (--status-linger-ms).
+      if (params.statusLingerMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(params.statusLingerMs));
+      }
+      statusServer.stop();
+    }
+    return out;
   }
 
   // Multi-process path: this process runs exactly one locality
@@ -488,6 +560,7 @@ struct Engine {
     // begin()/end() are refcounted, so in-process multi-rank runs (tests
     // drive two ranks as threads) share one session.
     rt::trace::SessionScope traceScope(!p.traceFile.empty());
+    rt::prof::ArmScope profScope;
 
     rt::TcpConfig tc;
     tc.rank = p.rank;
@@ -503,6 +576,21 @@ struct Engine {
 
     auto spaceBytes = toBytes(space);
     Ctx ctx(net, p.rank, p, spaceBytes);
+
+    // Each rank serves its own status endpoint on --status-port + rank
+    // (the same base + rank convention launch_local.sh uses for the mesh).
+    // Declared after ctx: its listener thread reads ctx through the source
+    // callback, so it must be destroyed first.
+    rt::statusd::StatusServer statusServer;
+    const std::uint64_t runStartNanos = rt::prof::nowNanos();
+    if (p.statusPort >= 0) {
+      statusServer.start(
+          static_cast<std::uint16_t>(p.statusPort + p.rank),
+          [&ctx, &net, &p, runStartNanos] {
+            return std::vector<rt::statusd::RankStatus>{
+                rankStatus(ctx, net, p, runStartNanos)};
+          });
+    }
 
     // First peer declared dead, if any. The transport reports a death at
     // most once per peer from one of its own threads; we keep the first and
@@ -560,6 +648,7 @@ struct Engine {
     });
 
     ctx.locality().start();
+    ctx.startHealth();
     if (p.rank == 0) {
       // Root task: count it before the leader starts polling, so the
       // detector never observes the initial 0 == 0 state.
@@ -579,11 +668,15 @@ struct Engine {
                     });
     }
 
+    const std::uint64_t teamStartNanos = rt::prof::nowNanos();
     {
       rt::WorkerTeam team(p.workersPerLocality,
                           [&ctx](int w) { workerLoop(ctx, w); });
       // Joins once the termination broadcast lands on this rank.
     }
+    const std::uint64_t teamWallNanos =
+        rt::prof::nowNanos() - teamStartNanos;
+    ctx.stopHealth();  // firing counts final before the gather ships them
     sampler.stop();  // takes the final sample; workers have quiesced
     ctx.term().stop();
     if (p.sampleIntervalMs > 0) {
@@ -648,7 +741,8 @@ struct Engine {
           throw rt::TransportError(msg);
         }
       }
-      out = mergeGather(p, ctx, gathered, timer.elapsedSeconds(), net);
+      out = mergeGather(p, ctx, gathered, timer.elapsedSeconds(), net,
+                        teamWallNanos);
       if (!p.traceFile.empty()) {
         // Every kTraceData preceded its rank's kGatherReply on the same
         // FIFO link, so the batches are all here. Combine each peer's
@@ -680,11 +774,20 @@ struct Engine {
       // The manager (still running) keeps absorbing stray steal/termination
       // traffic while this reply travels.
       ctx.locality().send(0, rt::tag::kGatherReply,
-                          toBytes(makeGatherMsg(ctx, net)));
+                          toBytes(makeGatherMsg(ctx, net, teamWallNanos)));
       out.elapsedSeconds = timer.elapsedSeconds();
       out.isRoot = false;
     }
 
+    if (statusServer.running()) {
+      // Every rank lingers, so a scraper can read each rank's final
+      // counters (the CI multiproc lane curls both ranks post-search).
+      if (p.statusLingerMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(p.statusLingerMs));
+      }
+      statusServer.stop();
+    }
     ctx.locality().stop();
     // Graceful close: drains every queued frame (including the gather reply
     // just sent) before the sockets go down.
@@ -698,9 +801,17 @@ struct Engine {
     auto& ws = *ctx.workers()[static_cast<std::size_t>(w)];
     rt::trace::nameThread("L" + std::to_string(ctx.id()) + ".w" +
                           std::to_string(w));
+    // Phase accounting: one lap per loop boundary, attributed post-hoc (a
+    // popWait span is kPopping if it yielded a task, kIdle if it timed
+    // out), so the phases tile this thread's wall time exactly.
+    auto& wp = ctx.profile().worker(w);
+    rt::prof::PhaseClock pclock;
+    const std::uint64_t loopStartNanos = rt::prof::nowNanos();
+    pclock.start();
     std::uint64_t taskSeq = 0;
     while (!ctx.term().finished()) {
       if (auto task = ctx.pool().popWait(200us, w)) {
+        pclock.lap(wp, rt::prof::Phase::kPopping);
         // The pop + span-open records are guarded as one: pool size is a
         // locking query, and an un-opened span must not be closed below.
         const bool traced = rt::trace::enabled();
@@ -722,11 +833,19 @@ struct Engine {
         if (traced) {
           rt::trace::record(rt::trace::Ev::kTaskRunEnd, ctx.id());
         }
+        pclock.lap(wp, rt::prof::Phase::kWorking);
         ctx.term().taskCompleted();
         continue;
       }
+      pclock.lap(wp, rt::prof::Phase::kIdle);
       Coordination::onIdle(ctx, ws);
+      pclock.lap(wp, rt::prof::Phase::kStealing);
     }
+    // Close the tail interval (the final empty popWait / finish check), and
+    // stamp this thread's independently measured wall: the phase sum must
+    // tile it, whatever the OS did to the team's thread start/exit skew.
+    pclock.lap(wp, rt::prof::Phase::kIdle);
+    wp.setWall(rt::prof::nowNanos() - loopStartNanos);
     Ops::mergeWorkerAcc(ctx.reg(), ws.acc);
   }
 
@@ -742,6 +861,51 @@ struct Engine {
     s.netQueued = net.queuedMessagesNow();
     s.netQueuedMaxLink = net.maxLinkQueueNow();
     s.metrics = ctx.reg().metrics.snapshot();
+    // The same accumulators /metrics reads: one source of truth for the
+    // per-worker busy/idle columns the CSV grows.
+    s.profile = ctx.profile().snapshot(rank, 0);
+    return s;
+  }
+
+  // One status-endpoint row for one locality, frozen at scrape time.
+  static rt::statusd::RankStatus rankStatus(Ctx& ctx,
+                                            const rt::Transport& net,
+                                            const Params& params,
+                                            std::uint64_t startNanos) {
+    rt::statusd::RankStatus s;
+    s.rank = ctx.id();
+    s.world = params.nLocalities;
+    const std::uint64_t now = rt::prof::nowNanos();
+    s.uptimeSeconds = static_cast<double>(now - startNanos) / 1e9;
+    s.searchActive = !ctx.term().finished();
+    s.poolDepth = ctx.pool().size();
+    s.netQueued = net.queuedMessagesNow();
+    const std::int64_t bound =
+        ctx.reg().localBound.load(std::memory_order_relaxed);
+    s.hasObjective = bound != kObjMin;
+    s.objective = bound;
+    s.metrics = ctx.reg().metrics.snapshot();
+    s.metrics.poolLockContentions = ctx.pool().lockContentions();
+    s.metrics.healthWarnings = ctx.health().totalFirings();
+    // Transport counters are fabric-wide under Sim: charge them to rank 0
+    // only, so summing rows over ranks never multiple-counts them. Under
+    // Tcp each process owns its transport, so every rank reports its own.
+    if (params.transport == TransportKind::Tcp || ctx.id() == 0) {
+      fillNetMetrics(s.metrics, net);
+    }
+    s.profile = ctx.profile().snapshot(ctx.id(), now - startNanos);
+    const auto& wd = ctx.health();
+    for (int r = 0; r < rt::health::kNumRules; ++r) {
+      const auto rule = static_cast<rt::health::Rule>(r);
+      rt::statusd::RankStatus::RuleStatus rs;
+      rs.name = rt::health::ruleName(rule);
+      rs.enabled = wd.running() &&
+                   (rule != rt::health::Rule::kStalledIncumbent ||
+                    params.stallWarnMs > 0);
+      rs.firing = wd.firing(rule);
+      rs.firings = wd.firings(rule);
+      s.rules.push_back(std::move(rs));
+    }
     return s;
   }
 
@@ -761,7 +925,8 @@ struct Engine {
 
   static Out gather(const Params& params,
                     std::vector<std::unique_ptr<Ctx>>& locs, double elapsed,
-                    const rt::Transport& net) {
+                    const rt::Transport& net,
+                    std::uint64_t teamWallNanos) {
     Out out;
     out.elapsedSeconds = elapsed;
     fillNetMetrics(out.metrics, net);
@@ -770,6 +935,9 @@ struct Engine {
       out.metrics += reg.metrics.snapshot();
       // Pool-side counter, not a Metrics atomic: read once, post-quiesce.
       out.metrics.poolLockContentions += l->pool().lockContentions();
+      // Watchdog-side counter, same discipline (watchdogs are stopped).
+      out.metrics.healthWarnings += l->health().totalFirings();
+      out.profiles.push_back(l->profile().snapshot(l->id(), teamWallNanos));
       // Workers have joined, but the guarded fields are read under their
       // locks anyway: the discipline is uniform, and the locks are free.
       if constexpr (SearchType::isEnumeration) {
@@ -794,11 +962,14 @@ struct Engine {
   // Package this rank's local results for the wire (non-zero ranks of a
   // multi-process run). The rank's own transport counters travel inside the
   // metrics snapshot, so rank 0's merge sums wire traffic mesh-wide.
-  static GatherMsg makeGatherMsg(Ctx& ctx, const rt::Transport& net) {
+  static GatherMsg makeGatherMsg(Ctx& ctx, const rt::Transport& net,
+                                 std::uint64_t teamWallNanos) {
     auto& reg = ctx.reg();
     GatherMsg g;
     g.metrics = reg.metrics.snapshot();
     g.metrics.poolLockContentions = ctx.pool().lockContentions();
+    g.metrics.healthWarnings = ctx.health().totalFirings();
+    g.profile = ctx.profile().snapshot(ctx.id(), teamWallNanos);
     fillNetMetrics(g.metrics, net);
     g.truncated = reg.truncated.load() ? 1 : 0;
     if constexpr (SearchType::isEnumeration) {
@@ -819,13 +990,16 @@ struct Engine {
   // same selection the shared-memory gather() performs over `locs`.
   static Out mergeGather(const Params& params, Ctx& ctx,
                          std::vector<GatherMsg>& peers, double elapsed,
-                         const rt::Transport& net) {
+                         const rt::Transport& net,
+                         std::uint64_t teamWallNanos) {
     Out out;
     out.elapsedSeconds = elapsed;
     fillNetMetrics(out.metrics, net);
     auto& reg = ctx.reg();
     out.metrics += reg.metrics.snapshot();
     out.metrics.poolLockContentions += ctx.pool().lockContentions();
+    out.metrics.healthWarnings += ctx.health().totalFirings();
+    out.profiles.push_back(ctx.profile().snapshot(ctx.id(), teamWallNanos));
     if constexpr (SearchType::isEnumeration) {
       using M = typename SearchType::M;
       rt::LockGuard lock(reg.accMtx);
@@ -840,6 +1014,7 @@ struct Engine {
     if (reg.truncated.load()) out.complete = false;
     for (auto& g : peers) {
       out.metrics += g.metrics;
+      out.profiles.push_back(std::move(g.profile));
       if constexpr (SearchType::isEnumeration) {
         using M = typename SearchType::M;
         out.sum = M::plus(std::move(out.sum), std::move(g.sum));
@@ -851,6 +1026,12 @@ struct Engine {
       }
       if (g.truncated) out.complete = false;
     }
+    // Gather replies land in arrival order; the report reads rank order.
+    std::sort(out.profiles.begin(), out.profiles.end(),
+              [](const rt::prof::ProfileSnapshot& a,
+                 const rt::prof::ProfileSnapshot& b) {
+                return a.rank < b.rank;
+              });
     if constexpr (SearchType::isDecision) {
       out.decided = out.objective >= params.decisionTarget;
     }

@@ -55,6 +55,9 @@ void Locality::managerLoop() {
     if (auto handler = findHandler(msg->tag)) {
       const int tagId = msg->tag;
       const int from = msg->src;
+      // Only handler dispatch counts as manager time: recvWait above is
+      // the manager's idle loop, not work (runtime/profile.hpp).
+      prof::ScopedPhase phase(managerProf_, prof::Phase::kManager);
       try {
         handler(std::move(*msg));
       } catch (const ArchiveError& e) {

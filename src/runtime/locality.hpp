@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "runtime/message.hpp"
+#include "runtime/profile.hpp"
 #include "runtime/transport/transport.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -45,6 +46,10 @@ class Locality {
     handlers_[tagId] = std::move(h);
   }
 
+  // Account manager handler-dispatch time (phase kManager) into `p`.
+  // Call before start(); nullptr (the default) records nothing.
+  void setManagerProfile(prof::WorkerProfile* p) { managerProf_ = p; }
+
   // Launch the manager thread.
   void start();
 
@@ -75,6 +80,7 @@ class Locality {
   std::unordered_map<int, Handler> handlers_ GUARDED_BY(handlersMtx_);
   std::thread manager_;
   std::atomic<bool> running_{false};
+  prof::WorkerProfile* managerProf_ = nullptr;  // set before start()
 };
 
 }  // namespace yewpar::rt

@@ -58,6 +58,10 @@ struct MetricsSnapshot {
   // priority pools count them (rt::Workpool::lockContentions); the
   // workpool-ablation bench compares global vs sharded pool pressure.
   std::uint64_t poolLockContentions = 0;
+  // Health-watchdog rule firings (healthy->unhealthy transitions, all rules
+  // combined; see runtime/health.hpp). Folded in at gather time from the
+  // locality's rt::health::Watchdog; 0 when the watchdog is off.
+  std::uint64_t healthWarnings = 0;
   // Network totals, filled once at gather time from rt::Network (they are
   // fabric-wide, not per-locality). networkMessages counts logical sends;
   // networkFrames counts wire frames (one per batch flush), so
@@ -119,6 +123,7 @@ struct MetricsSnapshot {
     boundBroadcasts += o.boundBroadcasts;
     boundUpdatesApplied += o.boundUpdatesApplied;
     poolLockContentions += o.poolLockContentions;
+    healthWarnings += o.healthWarnings;
     networkMessages += o.networkMessages;
     networkBytes += o.networkBytes;
     networkFrames += o.networkFrames;
@@ -140,8 +145,8 @@ struct MetricsSnapshot {
   void save(OArchive& a) const {
     a << nodesProcessed << tasksSpawned << prunes << backtracks << localSteals
       << remoteSteals << failedSteals << stealReplies << boundBroadcasts
-      << boundUpdatesApplied << poolLockContentions << networkMessages
-      << networkBytes
+      << boundUpdatesApplied << poolLockContentions << healthWarnings
+      << networkMessages << networkBytes
       << networkFrames << networkBatched << networkImmediate << networkSpills
       << networkHeartbeats << linkQueueHighWater;
     for (auto c : netLatencyHist) a << c;
@@ -150,6 +155,7 @@ struct MetricsSnapshot {
     a >> nodesProcessed >> tasksSpawned >> prunes >> backtracks >>
         localSteals >> remoteSteals >> failedSteals >> stealReplies >>
         boundBroadcasts >> boundUpdatesApplied >> poolLockContentions >>
+        healthWarnings >>
         networkMessages >> networkBytes >> networkFrames >> networkBatched >>
         networkImmediate >> networkSpills >> networkHeartbeats >>
         linkQueueHighWater;

@@ -1,0 +1,147 @@
+#include "runtime/profile.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/thread_annotations.hpp"
+
+namespace yewpar::rt::prof {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+namespace {
+Mutex gArmMtx;
+int gArmCount GUARDED_BY(gArmMtx) = 0;
+}  // namespace
+
+void arm() {
+  LockGuard lock(gArmMtx);
+  if (++gArmCount == 1) {
+    detail::gEnabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void disarm() {
+  LockGuard lock(gArmMtx);
+  if (gArmCount > 0 && --gArmCount == 0) {
+    detail::gEnabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::kWorking: return "working";
+    case Phase::kPopping: return "popping";
+    case Phase::kStealing: return "stealing";
+    case Phase::kIdle: return "idle";
+    case Phase::kManager: return "manager";
+  }
+  return "?";
+}
+
+double ProfileSnapshot::busyFraction(std::size_t w) const {
+  if (w >= workers.size()) return 0.0;
+  const double wall = wallNanos != 0
+                          ? static_cast<double>(wallNanos)
+                          : static_cast<double>(workers[w].total());
+  if (wall <= 0.0) return 0.0;
+  return static_cast<double>(workers[w].get(Phase::kWorking)) / wall;
+}
+
+double ProfileSnapshot::utilizationCV() const {
+  const std::size_t n = workers.size();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (const auto& w : workers) {
+    mean += static_cast<double>(w.get(Phase::kWorking));
+  }
+  mean /= static_cast<double>(n);
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const auto& w : workers) {
+    const double d = static_cast<double>(w.get(Phase::kWorking)) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  return std::sqrt(var) / mean;
+}
+
+double ProfileSnapshot::giniIndex() const {
+  const std::size_t n = workers.size();
+  if (n == 0) return 0.0;
+  double mean = 0.0;
+  for (const auto& w : workers) {
+    mean += static_cast<double>(w.get(Phase::kWorking));
+  }
+  mean /= static_cast<double>(n);
+  if (mean <= 0.0) return 0.0;
+  // Mean absolute difference over 2*mean; O(n^2) is fine at worker counts.
+  double sumAbs = 0.0;
+  for (const auto& a : workers) {
+    for (const auto& b : workers) {
+      sumAbs += std::fabs(static_cast<double>(a.get(Phase::kWorking)) -
+                          static_cast<double>(b.get(Phase::kWorking)));
+    }
+  }
+  return sumAbs / (2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                   mean);
+}
+
+ProfileSnapshot Profile::snapshot(int rank, std::uint64_t wallNanos) const {
+  ProfileSnapshot s;
+  s.rank = rank;
+  s.wallNanos = wallNanos;
+  const std::size_t nWorkers = slots_.size() - 1;
+  s.workers.resize(nWorkers);
+  for (std::size_t w = 0; w < nWorkers; ++w) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      s.workers[w].nanos[static_cast<std::size_t>(p)] =
+          slots_[w].get(static_cast<Phase>(p));
+    }
+    s.workers[w].wallNanos = slots_[w].wall();
+  }
+  for (int p = 0; p < kNumPhases; ++p) {
+    s.manager.nanos[static_cast<std::size_t>(p)] =
+        slots_.back().get(static_cast<Phase>(p));
+  }
+  s.manager.wallNanos = slots_.back().wall();
+  return s;
+}
+
+namespace {
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+}  // namespace
+
+void printPhaseTable(const std::vector<ProfileSnapshot>& ranks) {
+  if (ranks.empty()) return;
+  std::printf("where time went (%% of each rank's team wall):\n");
+  for (const auto& r : ranks) {
+    const double wallSec = static_cast<double>(r.wallNanos) / 1e9;
+    std::printf("  rank %d (wall %.3fs):\n", r.rank, wallSec);
+    for (std::size_t w = 0; w < r.workers.size(); ++w) {
+      const auto& ph = r.workers[w];
+      // Denominator is the rank's wall so rows are comparable; `sum` shows
+      // how much of that wall the worker's phases actually tile.
+      std::printf(
+          "    w%-2zu work %5.1f%%  pop %5.1f%%  steal %5.1f%%  "
+          "idle %5.1f%%  (sum %5.1f%%)\n",
+          w, pct(ph.get(Phase::kWorking), r.wallNanos),
+          pct(ph.get(Phase::kPopping), r.wallNanos),
+          pct(ph.get(Phase::kStealing), r.wallNanos),
+          pct(ph.get(Phase::kIdle), r.wallNanos),
+          pct(ph.total(), r.wallNanos));
+    }
+    std::printf("    mgr  handlers %5.2f%%\n",
+                pct(r.manager.get(Phase::kManager), r.wallNanos));
+    std::printf("    imbalance: cv %.3f, gini %.3f\n", r.utilizationCV(),
+                r.giniIndex());
+  }
+}
+
+}  // namespace yewpar::rt::prof

@@ -1,0 +1,301 @@
+#include "runtime/statusd.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/transport/transport.hpp"
+
+namespace yewpar::rt::statusd {
+
+namespace {
+
+// Write exactly n bytes. MSG_NOSIGNAL so a scraper that hangs up early
+// surfaces as EPIPE here instead of a process-wide SIGPIPE (same idiom as
+// tcp.cpp's writeFull).
+bool writeFull(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const auto w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Read until the end of the request line (we never need more: HTTP/1.0,
+// no bodies). Bounded buffer and a short poll deadline keep a stuck or
+// malicious client from pinning the listener thread.
+bool readRequestLine(int fd, std::string& line) {
+  char buf[1024];
+  std::size_t got = 0;
+  for (int slice = 0; slice < 20; ++slice) {  // <= 2s total
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) continue;
+    const auto r = ::recv(fd, buf + got, sizeof(buf) - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    got += static_cast<std::size_t>(r);
+    const char* nl = static_cast<const char*>(std::memchr(buf, '\n', got));
+    if (nl != nullptr) {
+      line.assign(buf, static_cast<std::size_t>(nl - buf));
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (got == sizeof(buf)) return false;  // request line absurdly long
+  }
+  return false;
+}
+
+void respond(int fd, const char* status, const char* contentType,
+             const std::string& body) {
+  char head[256];
+  const int n = std::snprintf(head, sizeof head,
+                              "HTTP/1.0 %s\r\n"
+                              "Content-Type: %s\r\n"
+                              "Content-Length: %zu\r\n"
+                              "Connection: close\r\n"
+                              "\r\n",
+                              status, contentType, body.size());
+  if (!writeFull(fd, head, static_cast<std::size_t>(n))) return;
+  writeFull(fd, body.data(), body.size());
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// One `name{rank="r"[,extra]} value` exposition line.
+void counter(std::string& out, const char* name, int rank,
+             std::uint64_t value) {
+  appendf(out, "yewpar_%s{rank=\"%d\"} %" PRIu64 "\n", name, rank, value);
+}
+
+}  // namespace
+
+std::string renderMetrics(const std::vector<RankStatus>& ranks) {
+  std::string out;
+  out.reserve(4096);
+  out +=
+      "# HELP yewpar_nodes_processed_total Search-tree nodes processed.\n"
+      "# TYPE yewpar_nodes_processed_total counter\n"
+      "# TYPE yewpar_tasks_spawned_total counter\n"
+      "# TYPE yewpar_steals_total counter\n"
+      "# TYPE yewpar_worker_phase_seconds_total counter\n"
+      "# TYPE yewpar_pool_depth gauge\n"
+      "# TYPE yewpar_health_rule_firing gauge\n"
+      "# TYPE yewpar_health_rule_firings_total counter\n";
+  for (const auto& r : ranks) {
+    const auto& m = r.metrics;
+    appendf(out, "yewpar_uptime_seconds{rank=\"%d\"} %.3f\n", r.rank,
+            r.uptimeSeconds);
+    appendf(out, "yewpar_search_active{rank=\"%d\"} %d\n", r.rank,
+            r.searchActive ? 1 : 0);
+    counter(out, "nodes_processed_total", r.rank, m.nodesProcessed);
+    counter(out, "tasks_spawned_total", r.rank, m.tasksSpawned);
+    counter(out, "prunes_total", r.rank, m.prunes);
+    counter(out, "backtracks_total", r.rank, m.backtracks);
+    appendf(out, "yewpar_steals_total{rank=\"%d\",kind=\"local\"} %" PRIu64
+                 "\n",
+            r.rank, m.localSteals);
+    appendf(out, "yewpar_steals_total{rank=\"%d\",kind=\"remote\"} %" PRIu64
+                 "\n",
+            r.rank, m.remoteSteals);
+    appendf(out, "yewpar_steals_total{rank=\"%d\",kind=\"failed\"} %" PRIu64
+                 "\n",
+            r.rank, m.failedSteals);
+    counter(out, "steal_replies_total", r.rank, m.stealReplies);
+    counter(out, "bound_broadcasts_total", r.rank, m.boundBroadcasts);
+    counter(out, "bound_updates_applied_total", r.rank,
+            m.boundUpdatesApplied);
+    counter(out, "pool_lock_contentions_total", r.rank,
+            m.poolLockContentions);
+    counter(out, "network_messages_total", r.rank, m.networkMessages);
+    counter(out, "network_bytes_total", r.rank, m.networkBytes);
+    counter(out, "health_warnings_total", r.rank, m.healthWarnings);
+    counter(out, "pool_depth", r.rank, r.poolDepth);
+    counter(out, "net_queue_depth", r.rank, r.netQueued);
+    if (r.hasObjective) {
+      appendf(out, "yewpar_incumbent_objective{rank=\"%d\"} %" PRId64 "\n",
+              r.rank, r.objective);
+    }
+    for (std::size_t w = 0; w < r.profile.workers.size(); ++w) {
+      for (int p = 0; p < prof::kNumPhases - 1; ++p) {  // workers: no kManager
+        appendf(out,
+                "yewpar_worker_phase_seconds_total{rank=\"%d\",worker=\"%zu\""
+                ",phase=\"%s\"} %.6f\n",
+                r.rank, w, prof::phaseName(static_cast<prof::Phase>(p)),
+                static_cast<double>(r.profile.workers[w].nanos
+                                        [static_cast<std::size_t>(p)]) /
+                    1e9);
+      }
+    }
+    appendf(out,
+            "yewpar_worker_phase_seconds_total{rank=\"%d\",worker=\"mgr\""
+            ",phase=\"manager\"} %.6f\n",
+            r.rank,
+            static_cast<double>(r.profile.manager.get(
+                prof::Phase::kManager)) /
+                1e9);
+    appendf(out, "yewpar_worker_imbalance_cv{rank=\"%d\"} %.6f\n", r.rank,
+            r.profile.utilizationCV());
+    appendf(out, "yewpar_worker_imbalance_gini{rank=\"%d\"} %.6f\n", r.rank,
+            r.profile.giniIndex());
+    for (const auto& rule : r.rules) {
+      appendf(out,
+              "yewpar_health_rule_firing{rank=\"%d\",rule=\"%s\"} %d\n",
+              r.rank, rule.name.c_str(), rule.firing ? 1 : 0);
+      appendf(out,
+              "yewpar_health_rule_firings_total{rank=\"%d\",rule=\"%s\"} "
+              "%" PRIu64 "\n",
+              r.rank, rule.name.c_str(), rule.firings);
+    }
+  }
+  return out;
+}
+
+std::string renderStatusJson(const std::vector<RankStatus>& ranks) {
+  std::string out = "{";
+  appendf(out, "\"world\": %d, \"ranks\": [",
+          ranks.empty() ? 0 : ranks.front().world);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto& r = ranks[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    appendf(out, "\"rank\": %d, ", r.rank);
+    appendf(out, "\"uptime_seconds\": %.3f, ", r.uptimeSeconds);
+    appendf(out, "\"search_active\": %s, ",
+            r.searchActive ? "true" : "false");
+    if (r.hasObjective) {
+      appendf(out, "\"incumbent_objective\": %" PRId64 ", ", r.objective);
+    } else {
+      out += "\"incumbent_objective\": null, ";
+    }
+    appendf(out, "\"nodes_processed\": %" PRIu64 ", ",
+            r.metrics.nodesProcessed);
+    appendf(out, "\"pool_depth\": %" PRIu64 ", ", r.poolDepth);
+    appendf(out, "\"net_queued\": %" PRIu64 ", ", r.netQueued);
+    appendf(out, "\"workers\": %zu, ", r.profile.workers.size());
+    appendf(out, "\"imbalance_cv\": %.6f, ", r.profile.utilizationCV());
+    appendf(out, "\"imbalance_gini\": %.6f, ", r.profile.giniIndex());
+    out += "\"health\": [";
+    for (std::size_t j = 0; j < r.rules.size(); ++j) {
+      const auto& rule = r.rules[j];
+      if (j != 0) out += ", ";
+      appendf(out,
+              "{\"rule\": \"%s\", \"enabled\": %s, \"firing\": %s, "
+              "\"firings\": %" PRIu64 "}",
+              rule.name.c_str(), rule.enabled ? "true" : "false",
+              rule.firing ? "true" : "false", rule.firings);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+void StatusServer::start(std::uint16_t port, Source source) {
+  if (running_.load(std::memory_order_relaxed)) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw TransportError(std::string("statusd: socket: ") +
+                         std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw TransportError("statusd: cannot listen on port " +
+                         std::to_string(port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listenFd_ = fd;
+  source_ = std::move(source);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void StatusServer::loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;  // timeout (re-check running_), or EINTR
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Serve inline: scrape traffic is one request per interval, and an
+    // inline serve keeps the thread count and lock surface at one.
+    serveClient(fd);
+    ::close(fd);
+  }
+}
+
+void StatusServer::serveClient(int fd) {
+  std::string line;
+  if (!readRequestLine(fd, line)) return;
+  // "GET /path HTTP/1.x" - we only route on the first two tokens.
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos || line.substr(0, sp1) != "GET") {
+    respond(fd, "405 Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string path = line.substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  if (path == "/healthz") {
+    respond(fd, "200 OK", "text/plain", "ok\n");
+  } else if (path == "/metrics") {
+    respond(fd, "200 OK", "text/plain; version=0.0.4",
+            renderMetrics(source_()));
+  } else if (path == "/status.json") {
+    respond(fd, "200 OK", "application/json",
+            renderStatusJson(source_()) + "\n");
+  } else {
+    respond(fd, "404 Not Found", "text/plain", "unknown path\n");
+  }
+}
+
+void StatusServer::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  running_.store(false, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listenFd_);
+  listenFd_ = -1;
+  source_ = nullptr;
+}
+
+}  // namespace yewpar::rt::statusd

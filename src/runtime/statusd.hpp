@@ -1,0 +1,93 @@
+#pragma once
+
+// Embedded HTTP/1.0 status endpoint (docs/ARCHITECTURE.md "Observability":
+// status endpoint). Off by default; --status-port arms it.
+//
+// Scope: this is a diagnostics port, not a web server. One listener thread
+// accepts loopback-style scrape connections (curl, Prometheus), reads the
+// request line, serves exactly three routes, and closes:
+//
+//   GET /metrics      Prometheus text exposition: coordination counters,
+//                     per-worker phase seconds, pool/transport queue
+//                     depths, health-rule states - one block per rank.
+//   GET /status.json  one JSON object: world size, uptime, and per-rank
+//                     incumbent objective, health rules, imbalance indices.
+//   GET /healthz      "ok" liveness probe.
+//
+// The server renders from RankStatus values pulled through a Source
+// callback on each request, so a scrape always sees the live counters; the
+// callback must stay valid until stop() returns. Under the simulated
+// backend one server reports every locality; under TCP each rank runs its
+// own server on --status-port + rank (mirroring launch_local.sh's
+// base-port + rank convention).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.hpp"
+#include "runtime/profile.hpp"
+
+namespace yewpar::rt::statusd {
+
+// Everything the endpoint reports about one rank, frozen at request time.
+struct RankStatus {
+  int rank = 0;
+  int world = 1;
+  double uptimeSeconds = 0.0;
+  bool searchActive = false;
+  std::uint64_t poolDepth = 0;
+  std::uint64_t netQueued = 0;
+  bool hasObjective = false;
+  std::int64_t objective = 0;
+  MetricsSnapshot metrics;
+  prof::ProfileSnapshot profile;
+
+  struct RuleStatus {
+    std::string name;
+    bool enabled = false;
+    bool firing = false;
+    std::uint64_t firings = 0;
+  };
+  std::vector<RuleStatus> rules;
+};
+
+// Renderers, exposed for unit tests (they are pure functions of the input).
+std::string renderMetrics(const std::vector<RankStatus>& ranks);
+std::string renderStatusJson(const std::vector<RankStatus>& ranks);
+
+class StatusServer {
+ public:
+  using Source = std::function<std::vector<RankStatus>()>;
+
+  StatusServer() = default;
+  ~StatusServer() { stop(); }
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  // Bind 0.0.0.0:port and start serving. Port 0 binds an ephemeral port
+  // (tests); port() returns the actual one. Throws TransportError if the
+  // port cannot be bound - a typo'd --status-port should fail loudly, not
+  // silently serve nothing.
+  void start(std::uint16_t port, Source source);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void loop();
+  void serveClient(int fd);
+
+  int listenFd_ = -1;
+  std::uint16_t port_ = 0;
+  Source source_;  // set before the thread spawns, cleared after join
+  std::atomic<bool> running_{false};
+  std::thread thread_;  // touched only by the controlling thread
+};
+
+}  // namespace yewpar::rt::statusd

@@ -11,6 +11,7 @@ TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
     : loc_(loc), nLoc_(nLocalities) {
   // All localities: answer snapshot requests with current local counters.
   loc_.registerHandler(tag::kSnapshotRequest, [this](Message&& m) {
+    stampProbe();
     TermSnapshot req = fromBytes<TermSnapshot>(std::move(m.payload));
     TermSnapshot reply;
     reply.round = req.round;
@@ -24,6 +25,7 @@ TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
 
   // All localities: leader's decision.
   loc_.registerHandler(tag::kTerminate, [this](Message&&) {
+    stampProbe();
     finished_.store(true, std::memory_order_release);
   });
 
@@ -41,6 +43,15 @@ TerminationDetector::TerminationDetector(Locality& loc, int nLocalities)
 }
 
 TerminationDetector::~TerminationDetector() { stop(); }
+
+void TerminationDetector::stampProbe() {
+  lastProbeNanos_.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count()),
+      std::memory_order_relaxed);
+}
 
 void TerminationDetector::startLeader() {
   if (loc_.id() != 0) return;
@@ -98,6 +109,7 @@ void TerminationDetector::leaderLoop() {
       prevCreated = ~std::uint64_t{0};
       continue;
     }
+    stampProbe();
     trace::record(trace::Ev::kTermProbe, loc_.id(),
                   static_cast<std::uint64_t>(round),
                   sumCreated - sumCompleted);

@@ -80,7 +80,18 @@ class TerminationDetector {
   std::uint64_t createdLocal() const { return created_.load(); }
   std::uint64_t completedLocal() const { return completed_.load(); }
 
+  // Steady-clock nanos of the last termination-probe activity seen by this
+  // locality (a completed leader poll round, or an answered/final probe
+  // message on a non-leader). 0 until the first probe. The health
+  // watchdog's probe-liveness rule reads this.
+  std::uint64_t lastProbeNanos() const {
+    return lastProbeNanos_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void stampProbe();
+
+
   void leaderLoop();
 
   Locality& loc_;
@@ -88,6 +99,7 @@ class TerminationDetector {
   std::atomic<std::uint64_t> created_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<bool> finished_{false};
+  std::atomic<std::uint64_t> lastProbeNanos_{0};
 
   // Leader state: replies for the current poll round. Written by the
   // manager thread (the kSnapshotReply handler) and the leader polling

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "runtime/metrics.hpp"
+#include "runtime/profile.hpp"
 #include "util/archive.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -189,6 +190,10 @@ struct Sample {
   std::uint64_t netQueued = 0;         // messages in flight, fabric-wide
   std::uint64_t netQueuedMaxLink = 0;  // deepest single link/peer queue
   MetricsSnapshot metrics;
+  // Per-worker phase accounting at this tick - the same accumulators the
+  // /metrics status endpoint reads, so the CSV's per-worker busy/idle
+  // columns and a concurrent scrape can never disagree.
+  prof::ProfileSnapshot profile;
 };
 
 // A background thread invoking a snapshot callback every `interval` and

@@ -55,8 +55,10 @@ inline constexpr std::uint32_t kMaxFramePayload = 256u * 1024u * 1024u;
 // tag-table change (e.g. a new MetricsSnapshot counter travelling inside
 // GatherMsg). The tag hash below cannot see layout edits, so this constant
 // is what keeps mixed-build meshes refused at handshake time in that case.
-// History: 1 = pre-PR9 layouts; 2 = MetricsSnapshot.poolLockContentions.
-inline constexpr std::uint32_t kPayloadLayoutVersion = 2;
+// History: 1 = pre-PR9 layouts; 2 = MetricsSnapshot.poolLockContentions;
+// 3 = GatherMsg.profile (per-worker phase accounting) +
+// MetricsSnapshot.healthWarnings.
+inline constexpr std::uint32_t kPayloadLayoutVersion = 3;
 
 // Protocol version, derived from the rt::tag table: FNV-1a over every tag
 // value in declaration order, plus kPayloadLayoutVersion. Adding, removing

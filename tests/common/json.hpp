@@ -1,0 +1,117 @@
+#pragma once
+
+// A mini JSON validator shared by the observability suites. Enough of
+// RFC 8259 to reject anything a real parser (Perfetto, python -m json.tool)
+// would: balanced structure, quoted keys, legal literals/numbers/escapes,
+// no trailing junk.
+
+#include <string>
+#include <string_view>
+
+namespace yewpar::testing {
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+
+  bool done() const { return p == end; }
+  void ws() {
+    while (p != end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool lit(const char* s) {
+    const auto n = std::string_view(s).size();
+    if (static_cast<std::size_t>(end - p) < n ||
+        std::string_view(p, n) != s) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+  bool string() {
+    if (p == end || *p != '"') return false;
+    ++p;
+    while (p != end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p == end) return false;
+      }
+      ++p;
+    }
+    if (p == end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+  bool number() {
+    const char* start = p;
+    if (p != end && *p == '-') ++p;
+    while (p != end && ((*p >= '0' && *p <= '9') || *p == '.' ||
+                        *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+      ++p;
+    }
+    return p != start;
+  }
+  bool value() {  // NOLINT(misc-no-recursion)
+    ws();
+    if (p == end) return false;
+    if (*p == '{') {
+      ++p;
+      ws();
+      if (p != end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (!string()) return false;
+        ws();
+        if (p == end || *p != ':') return false;
+        ++p;
+        if (!value()) return false;
+        ws();
+        if (p != end && *p == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      if (p == end || *p != '}') return false;
+      ++p;
+      return true;
+    }
+    if (*p == '[') {
+      ++p;
+      ws();
+      if (p != end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        if (!value()) return false;
+        ws();
+        if (p != end && *p == ',') {
+          ++p;
+          continue;
+        }
+        break;
+      }
+      if (p == end || *p != ']') return false;
+      ++p;
+      return true;
+    }
+    if (*p == '"') return string();
+    if (lit("true") || lit("false") || lit("null")) return true;
+    return number();
+  }
+};
+
+inline bool validJson(const std::string& text) {
+  JsonCursor c{text.data(), text.data() + text.size()};
+  if (!c.value()) return false;
+  c.ws();
+  return c.done();
+}
+
+}  // namespace yewpar::testing

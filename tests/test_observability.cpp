@@ -1,0 +1,712 @@
+// The live-observability layer (docs/ARCHITECTURE.md "Observability"):
+// per-worker phase accounting (lap attribution, concurrent writers + a live
+// snapshot reader - the CI TSan lane runs this suite), the imbalance-index
+// math, the search-health watchdog's windowed rules and warn rate limiting,
+// the embedded status endpoint's three routes against both a fake source and
+// a live 2-locality engine run, the sampler CSV's per-worker columns, and
+// the payload-layout handshake fence (`ctest -L net` selects it).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/synth.hpp"
+#include "core/yewpar.hpp"
+#include "runtime/health.hpp"
+#include "runtime/profile.hpp"
+#include "runtime/statusd.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/transport/tcp.hpp"
+#include "runtime/transport/wire.hpp"
+
+using namespace yewpar;
+using namespace yewpar::rt;
+using namespace yewpar::testing;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& stem)
+      : path(stem + "." + std::to_string(::getpid()) + ".tmp") {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+// ---- phase accounting -----------------------------------------------------
+
+TEST(PhaseProfile, DisarmedLapIsFreeAndRecordsNothing) {
+  ASSERT_FALSE(prof::enabled());
+  prof::WorkerProfile w;
+  prof::PhaseClock clock;
+  clock.start();
+  clock.lap(w, prof::Phase::kWorking);
+  clock.lap(w, prof::Phase::kIdle);
+  for (int p = 0; p < prof::kNumPhases; ++p) {
+    EXPECT_EQ(w.get(static_cast<prof::Phase>(p)), 0u);
+  }
+}
+
+TEST(PhaseProfile, LapsTileWallTimeWithoutNestingOrGaps) {
+  prof::ArmScope armed;
+  prof::WorkerProfile w;
+  prof::PhaseClock clock;
+
+  const auto t0 = prof::nowNanos();
+  clock.start();
+  std::this_thread::sleep_for(2ms);
+  clock.lap(w, prof::Phase::kWorking);
+  std::this_thread::sleep_for(2ms);
+  clock.lap(w, prof::Phase::kStealing);
+  std::this_thread::sleep_for(2ms);
+  clock.lap(w, prof::Phase::kIdle);
+  const auto outer = prof::nowNanos() - t0;
+
+  // Every phase saw at least its sleep; the phases partition the clock's
+  // span, so their sum can never exceed the outer wall around it.
+  EXPECT_GE(w.get(prof::Phase::kWorking), 1'000'000u);
+  EXPECT_GE(w.get(prof::Phase::kStealing), 1'000'000u);
+  EXPECT_GE(w.get(prof::Phase::kIdle), 1'000'000u);
+  EXPECT_EQ(w.get(prof::Phase::kPopping), 0u);
+  std::uint64_t total = 0;
+  for (int p = 0; p < prof::kNumPhases; ++p) {
+    total += w.get(static_cast<prof::Phase>(p));
+  }
+  EXPECT_LE(total, outer);
+  EXPECT_GE(total, outer / 2);  // laps cover the span, minus call overhead
+}
+
+TEST(PhaseProfile, ArmingMidRunRebasesInsteadOfBackcharging) {
+  prof::WorkerProfile w;
+  prof::PhaseClock clock;
+  clock.start();  // disarmed: no base timestamp
+  std::this_thread::sleep_for(2ms);
+  prof::arm();
+  // First lap after arming has no interval to close - it must re-base, not
+  // charge the disarmed stretch to kWorking.
+  clock.lap(w, prof::Phase::kWorking);
+  EXPECT_EQ(w.get(prof::Phase::kWorking), 0u);
+  clock.lap(w, prof::Phase::kWorking);
+  EXPECT_GT(w.get(prof::Phase::kWorking), 0u);
+  EXPECT_LT(w.get(prof::Phase::kWorking), 1'000'000'000u);
+  prof::disarm();
+  EXPECT_FALSE(prof::enabled());
+}
+
+TEST(PhaseProfile, ConcurrentWritersAndALiveSnapshotReader) {
+  // Four workers lapping their own slots while the main thread snapshots
+  // mid-flight, exactly as the sampler/watchdog/status endpoint do: TSan
+  // (CI lane) checks the relaxed-atomic discipline, the arithmetic checks
+  // accumulation is monotone and lands in the right slots.
+  prof::ArmScope armed;
+  constexpr int kWorkers = 4;
+  prof::Profile profile(kWorkers);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&profile, &stop, t] {
+      auto& slot = profile.worker(t);
+      prof::PhaseClock clock;
+      clock.start();
+      while (!stop.load(std::memory_order_acquire)) {
+        clock.lap(slot, prof::Phase::kWorking);
+        std::this_thread::yield();
+        clock.lap(slot, prof::Phase::kIdle);
+      }
+    });
+  }
+
+  std::uint64_t prevTotal = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = profile.snapshot(/*rank=*/0, /*wallNanos=*/0);
+    ASSERT_EQ(snap.workers.size(), static_cast<std::size_t>(kWorkers));
+    std::uint64_t total = 0;
+    for (const auto& w : snap.workers) total += w.total();
+    EXPECT_GE(total, prevTotal);  // accumulators only ever grow
+    prevTotal = total;
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  const auto snap = profile.snapshot(0, 0);
+  for (int t = 0; t < kWorkers; ++t) {
+    EXPECT_GT(snap.workers[static_cast<std::size_t>(t)].total(), 0u)
+        << "worker " << t << " recorded nothing";
+  }
+  // The manager slot was never touched.
+  EXPECT_EQ(snap.manager.total(), 0u);
+}
+
+// ---- imbalance indices ----------------------------------------------------
+
+namespace {
+
+prof::ProfileSnapshot snapshotWithWork(
+    const std::vector<std::uint64_t>& workNanos) {
+  prof::ProfileSnapshot s;
+  s.workers.resize(workNanos.size());
+  for (std::size_t i = 0; i < workNanos.size(); ++i) {
+    s.workers[i].nanos[static_cast<std::size_t>(prof::Phase::kWorking)] =
+        workNanos[i];
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(Imbalance, BalancedTeamScoresZero) {
+  const auto s = snapshotWithWork({7'000, 7'000, 7'000, 7'000});
+  EXPECT_DOUBLE_EQ(s.utilizationCV(), 0.0);
+  EXPECT_DOUBLE_EQ(s.giniIndex(), 0.0);
+}
+
+TEST(Imbalance, DegenerateCasesScoreZero) {
+  EXPECT_DOUBLE_EQ(snapshotWithWork({}).utilizationCV(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshotWithWork({}).giniIndex(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshotWithWork({0, 0}).utilizationCV(), 0.0);
+  EXPECT_DOUBLE_EQ(snapshotWithWork({0, 0}).giniIndex(), 0.0);
+}
+
+TEST(Imbalance, OneHotTeamScoresTheClosedForms) {
+  // One worker did everything: CV = sqrt(n-1), Gini = (n-1)/n = 1 - 1/n.
+  const auto s = snapshotWithWork({4'000'000, 0, 0, 0});
+  EXPECT_NEAR(s.utilizationCV(), std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(s.giniIndex(), 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(s.busyFraction(0), 1.0);  // wall falls back to total
+  EXPECT_DOUBLE_EQ(s.busyFraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.busyFraction(9), 0.0);  // out of range: 0, not UB
+}
+
+TEST(Imbalance, SnapshotSerializationRoundTrips) {
+  auto s = snapshotWithWork({1, 2, 3});
+  s.rank = 5;
+  s.wallNanos = 123456;
+  s.manager.nanos[static_cast<std::size_t>(prof::Phase::kManager)] = 99;
+  s.workers[1].wallNanos = 777;
+  const auto back = fromBytes<prof::ProfileSnapshot>(toBytes(s));
+  EXPECT_EQ(back.rank, 5);
+  EXPECT_EQ(back.wallNanos, 123456u);
+  ASSERT_EQ(back.workers.size(), 3u);
+  EXPECT_EQ(back.workers[2].get(prof::Phase::kWorking), 3u);
+  EXPECT_EQ(back.workers[1].wallNanos, 777u);
+  EXPECT_EQ(back.manager.get(prof::Phase::kManager), 99u);
+}
+
+// ---- health watchdog ------------------------------------------------------
+
+namespace {
+
+// A probe describing a permanently starved 1-worker search: its idle time
+// IS the wall clock, every other signal is healthy.
+health::Probe starvedProbe(std::uint64_t t0, bool active = true) {
+  health::Probe probe;
+  probe.profile = [t0] {
+    prof::ProfileSnapshot s;
+    s.workers.resize(1);
+    s.workers[0].nanos[static_cast<std::size_t>(prof::Phase::kIdle)] =
+        prof::nowNanos() - t0;
+    return s;
+  };
+  probe.failedSteals = [] { return std::uint64_t{0}; };
+  probe.objective = [] { return std::int64_t{0}; };
+  probe.objectiveNone = 0;
+  probe.lastProbeNanos = [] { return prof::nowNanos(); };
+  probe.searchActive = [active] { return active; };
+  return probe;
+}
+
+}  // namespace
+
+TEST(Watchdog, ZeroIntervalIsDisabled) {
+  health::Watchdog wd;
+  health::Config cfg;
+  cfg.interval = 0ms;
+  wd.start(cfg, starvedProbe(prof::nowNanos()), 0);
+  EXPECT_FALSE(wd.running());
+  wd.stop();  // no-op
+}
+
+TEST(Watchdog, PersistentStarvationFiresExactlyOnce) {
+  health::Watchdog wd;
+  health::Config cfg;
+  cfg.interval = 5ms;
+  cfg.starvationWindows = 3;
+  cfg.warnCooldown = 10min;  // any repeat would be a firing bug, not a race
+  wd.start(cfg, starvedProbe(prof::nowNanos()), /*rank=*/0);
+  ASSERT_TRUE(wd.running());
+
+  // Wait for the transition (3 windows of 5ms, generously padded for a
+  // loaded host), then several more windows to prove it does not re-fire.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!wd.firing(health::Rule::kStarvation) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(wd.firing(health::Rule::kStarvation));
+  std::this_thread::sleep_for(50ms);
+
+  EXPECT_EQ(wd.firings(health::Rule::kStarvation), 1u);
+  EXPECT_EQ(wd.warningsEmitted(), 1u);
+  EXPECT_EQ(wd.totalFirings(), 1u);
+  EXPECT_FALSE(wd.firing(health::Rule::kStealStorm));
+  EXPECT_FALSE(wd.firing(health::Rule::kStalledIncumbent));
+  EXPECT_FALSE(wd.firing(health::Rule::kProbeLiveness));
+  wd.stop();
+  EXPECT_FALSE(wd.running());
+}
+
+TEST(Watchdog, FinishedSearchHoldsAllFire) {
+  health::Watchdog wd;
+  health::Config cfg;
+  cfg.interval = 2ms;
+  cfg.starvationWindows = 1;
+  cfg.probeStale = 1ms;  // would fire instantly on an active search
+  wd.start(cfg, starvedProbe(prof::nowNanos(), /*active=*/false), 0);
+  std::this_thread::sleep_for(40ms);
+  EXPECT_EQ(wd.totalFirings(), 0u);
+  EXPECT_EQ(wd.warningsEmitted(), 0u);
+  wd.stop();
+}
+
+TEST(Watchdog, StalledIncumbentNeedsOptInAndAnIncumbent) {
+  const auto t0 = prof::nowNanos();
+  health::Watchdog wd;
+  health::Config cfg;
+  cfg.interval = 2ms;
+  cfg.stallWarn = 5ms;
+  auto probe = starvedProbe(t0);
+  probe.objective = [] { return std::int64_t{42}; };  // != objectiveNone
+  cfg.starvationWindows = 1000000;  // keep starvation out of this test
+  wd.start(cfg, std::move(probe), 0);
+
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!wd.firing(health::Rule::kStalledIncumbent) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_TRUE(wd.firing(health::Rule::kStalledIncumbent));
+  EXPECT_EQ(wd.firings(health::Rule::kStalledIncumbent), 1u);
+  wd.stop();
+}
+
+// ---- status endpoint: renderers -------------------------------------------
+
+namespace {
+
+std::vector<statusd::RankStatus> fakeRanks() {
+  std::vector<statusd::RankStatus> ranks(2);
+  for (int r = 0; r < 2; ++r) {
+    auto& s = ranks[static_cast<std::size_t>(r)];
+    s.rank = r;
+    s.world = 2;
+    s.uptimeSeconds = 1.5;
+    s.searchActive = (r == 0);
+    s.poolDepth = 7;
+    s.netQueued = 3;
+    s.metrics.nodesProcessed = 100u + static_cast<std::uint64_t>(r);
+    s.metrics.tasksSpawned = 10;
+    s.metrics.failedSteals = 2;
+    s.metrics.healthWarnings = static_cast<std::uint64_t>(r);
+    s.profile.workers.resize(2);
+    s.profile.workers[0]
+        .nanos[static_cast<std::size_t>(prof::Phase::kWorking)] =
+        2'000'000'000;  // 2s
+    s.rules.push_back({"starvation", true, r == 1, r == 1 ? 1u : 0u});
+    s.rules.push_back({"stalled-incumbent", false, false, 0});
+  }
+  ranks[0].hasObjective = true;
+  ranks[0].objective = -12;
+  return ranks;
+}
+
+}  // namespace
+
+TEST(StatusRender, MetricsIsPrometheusTextExposition) {
+  const auto text = statusd::renderMetrics(fakeRanks());
+  // Spot-check the counters a dashboard would alert on.
+  EXPECT_NE(text.find("yewpar_nodes_processed_total{rank=\"0\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("yewpar_nodes_processed_total{rank=\"1\"} 101\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("yewpar_steals_total{rank=\"0\",kind=\"failed\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("yewpar_health_warnings_total{rank=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("yewpar_incumbent_objective{rank=\"0\"} -12\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("yewpar_incumbent_objective{rank=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("yewpar_worker_phase_seconds_total{rank=\"0\",worker=\"0\""
+                ",phase=\"working\"} 2.000000\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("yewpar_health_rule_firing{rank=\"1\","
+                      "rule=\"starvation\"} 1\n"),
+            std::string::npos);
+
+  // Structural sweep: every line is a comment or `name{labels} value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("yewpar_", 0), 0u) << line;
+    const auto brace = line.find('{');
+    const auto close = line.find("} ");
+    ASSERT_NE(brace, std::string::npos) << line;
+    ASSERT_NE(close, std::string::npos) << line;
+    EXPECT_LT(brace, close) << line;
+    const auto value = line.substr(close + 2);
+    EXPECT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+  }
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(StatusRender, StatusJsonIsValidAndCarriesTheWorld) {
+  const auto text = statusd::renderStatusJson(fakeRanks());
+  EXPECT_TRUE(validJson(text)) << text;
+  EXPECT_NE(text.find("\"world\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"search_active\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"search_active\": false"), std::string::npos);
+  EXPECT_NE(text.find("\"incumbent_objective\": -12"), std::string::npos);
+  EXPECT_NE(text.find("\"incumbent_objective\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"rule\": \"starvation\""), std::string::npos);
+  EXPECT_TRUE(validJson(statusd::renderStatusJson({}))) << "empty world";
+}
+
+// ---- status endpoint: server ----------------------------------------------
+
+namespace {
+
+// A one-shot HTTP/1.0 GET (or arbitrary request line): returns the full
+// response (headers + body), or nullopt if the connection failed.
+std::optional<std::string> httpRequest(std::uint16_t port,
+                                       const std::string& requestLine) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string req = requestLine + "\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const auto r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    out.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+std::optional<std::string> httpGet(std::uint16_t port,
+                                   const std::string& path) {
+  return httpRequest(port, "GET " + path + " HTTP/1.0");
+}
+
+std::string bodyOf(const std::string& response) {
+  const auto sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? std::string() : response.substr(sep + 4);
+}
+
+// Sum every `yewpar_<name>_total{...} value` line for one counter name.
+std::uint64_t sumCounter(const std::string& metrics,
+                         const std::string& name) {
+  std::uint64_t sum = 0;
+  std::istringstream lines(metrics);
+  std::string line;
+  const std::string prefix = name + "{";
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const auto sp = line.find("} ");
+    if (sp == std::string::npos) continue;
+    sum += std::strtoull(line.c_str() + sp + 2, nullptr, 10);
+  }
+  return sum;
+}
+
+}  // namespace
+
+TEST(StatusServer, ServesAllThreeRoutesAndRejectsTheRest) {
+  statusd::StatusServer server;
+  server.start(/*port=*/0, fakeRanks);  // ephemeral port
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  const auto healthz = httpGet(server.port(), "/healthz");
+  ASSERT_TRUE(healthz.has_value());
+  EXPECT_NE(healthz->find("200 OK"), std::string::npos);
+  EXPECT_EQ(bodyOf(*healthz), "ok\n");
+
+  const auto metrics = httpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(bodyOf(*metrics).find("yewpar_nodes_processed_total"),
+            std::string::npos);
+
+  const auto status = httpGet(server.port(), "/status.json");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("application/json"), std::string::npos);
+  EXPECT_TRUE(validJson(bodyOf(*status))) << bodyOf(*status);
+
+  const auto missing = httpGet(server.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_NE(missing->find("404"), std::string::npos);
+
+  const auto post = httpRequest(server.port(), "POST /metrics HTTP/1.0");
+  ASSERT_TRUE(post.has_value());
+  EXPECT_NE(post->find("405"), std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // A stopped server is restartable on a fresh port.
+  server.start(0, fakeRanks);
+  EXPECT_TRUE(server.running());
+  server.stop();
+}
+
+// ---- status endpoint: live engine run -------------------------------------
+
+namespace {
+
+std::uint16_t nextPortBase() {
+  static std::atomic<std::uint16_t> counter{0};
+  const auto pidSpread =
+      static_cast<std::uint16_t>((::getpid() * 37) % 12000);
+  return static_cast<std::uint16_t>(46000 + pidSpread +
+                                    counter.fetch_add(4));
+}
+
+}  // namespace
+
+TEST(StatusServer, LiveSimRunServesTheFinalGatherTotals) {
+  // A 2-locality sim run lingers after the gather; the scrape taken once
+  // /status.json reports the search inactive must agree with the Outcome -
+  // the acceptance criterion that /metrics and the final report are two
+  // views of one set of counters.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto port = nextPortBase();
+    Params p;
+    p.nLocalities = 2;
+    p.workersPerLocality = 2;
+    p.dcutoff = 3;
+    p.statusPort = port;
+    p.statusLingerMs = 4000;
+    p.healthIntervalMs = 20;
+
+    // Big enough (~350k nodes) that team wall dwarfs thread spawn/join
+    // overhead, keeping the phase-tiling assertion below robust.
+    const SynthSpace space{4, 9};
+    const SynthNode root{0, 1};
+    using Result =
+        decltype(skeletons::DepthBounded<SynthGen, Enumeration<CountAll>>::
+                     search(p, space, root));
+    std::exception_ptr err;
+    std::optional<Result> res;
+    std::thread run([&] {
+      try {
+        res = skeletons::DepthBounded<SynthGen, Enumeration<CountAll>>::
+            search(p, space, root);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    });
+
+    // Poll until the linger window opens (search inactive on every rank).
+    std::string statusBody;
+    const auto deadline = std::chrono::steady_clock::now() + 15s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto resp = httpGet(port, "/status.json");
+      if (resp.has_value() && resp->find("200 OK") != std::string::npos) {
+        statusBody = bodyOf(*resp);
+        if (statusBody.find("\"search_active\": true") ==
+            std::string::npos) {
+          break;
+        }
+      }
+      std::this_thread::sleep_for(10ms);
+    }
+
+    std::string metricsBody;
+    if (!statusBody.empty() &&
+        statusBody.find("\"search_active\": false") != std::string::npos) {
+      const auto healthz = httpGet(port, "/healthz");
+      EXPECT_TRUE(healthz.has_value() &&
+                  healthz->find("200 OK") != std::string::npos);
+      const auto metrics = httpGet(port, "/metrics");
+      if (metrics.has_value()) metricsBody = bodyOf(*metrics);
+    }
+    run.join();
+    if (err) continue;  // port collision with another process: retry
+
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(res->complete);
+    ASSERT_FALSE(metricsBody.empty())
+        << "status endpoint never reported the search finished";
+    EXPECT_TRUE(validJson(statusBody)) << statusBody;
+    EXPECT_NE(statusBody.find("\"world\": 2"), std::string::npos);
+
+    // The scrape happened after the gather quiesced the counters: summing
+    // the per-rank exposition lines reproduces the final report exactly.
+    EXPECT_EQ(sumCounter(metricsBody, "yewpar_nodes_processed_total"),
+              res->metrics.nodesProcessed);
+    EXPECT_EQ(sumCounter(metricsBody, "yewpar_tasks_spawned_total"),
+              res->metrics.tasksSpawned);
+
+    // The outcome carries one phase snapshot per locality. Each worker's
+    // phases must tile its own independently stamped wall (a gap means a
+    // loop path forgot to lap, an overshoot means double-charging); the
+    // worker wall in turn fits inside the team wall. The team wall itself
+    // is not a per-worker denominator here: on an oversubscribed box the
+    // OS can stagger thread starts/exits by a large fraction of the run.
+    ASSERT_EQ(res->profiles.size(), 2u);
+    for (const auto& snap : res->profiles) {
+      ASSERT_EQ(snap.workers.size(), 2u);
+      ASSERT_GT(snap.wallNanos, 0u);
+      for (const auto& w : snap.workers) {
+        ASSERT_GT(w.wallNanos, 0u);
+        EXPECT_LT(static_cast<double>(w.wallNanos),
+                  1.02 * static_cast<double>(snap.wallNanos))
+            << "a worker's wall cannot exceed its team's";
+        const double cover = static_cast<double>(w.total()) /
+                             static_cast<double>(w.wallNanos);
+        EXPECT_GT(cover, 0.98) << "phases must tile the worker's wall";
+        EXPECT_LT(cover, 1.02);
+      }
+    }
+    return;
+  }
+  FAIL() << "no live status-endpoint run succeeded (ports exhausted?)";
+}
+
+// ---- sampler CSV: per-worker columns --------------------------------------
+
+TEST(SamplerCsv, EmitsPerWorkerBusyIdleColumns) {
+  TempFile out("test_observability_csv");
+  std::vector<trace::Sample> rows(2);
+  rows[0].tNanos = 1'000'000;
+  rows[0].rank = 0;
+  rows[0].profile.workers.resize(2);
+  rows[0].profile.workers[0]
+      .nanos[static_cast<std::size_t>(prof::Phase::kWorking)] = 100;
+  rows[0].profile.workers[0]
+      .nanos[static_cast<std::size_t>(prof::Phase::kIdle)] = 25;
+  rows[0].profile.workers[1]
+      .nanos[static_cast<std::size_t>(prof::Phase::kStealing)] = 50;
+  rows[1].tNanos = 2'000'000;
+  rows[1].rank = 1;  // no profile: columns pad with zeros
+
+  trace::Sampler::writeCsv(out.path, rows);
+  const auto text = slurp(out.path);
+  EXPECT_NE(text.find(",w0_busy_ns,w0_idle_ns,w1_busy_ns,w1_idle_ns\n"),
+            std::string::npos);
+  // busy = working + popping + stealing (everything but idle).
+  EXPECT_NE(text.find(",100,25,50,0\n"), std::string::npos);
+  EXPECT_NE(text.find(",0,0,0,0\n"), std::string::npos);
+}
+
+// ---- wire fence -----------------------------------------------------------
+
+namespace {
+
+// Multiplicative inverse of the FNV-1a prime mod 2^32 (Newton iteration:
+// each step doubles the valid bits; odd a starts correct mod 8).
+constexpr std::uint32_t fnvPrimeInverse() {
+  constexpr std::uint32_t a = 16777619u;
+  std::uint32_t x = a;
+  for (int i = 0; i < 5; ++i) x *= 2u - a * x;
+  return x;
+}
+static_assert(fnvPrimeInverse() * 16777619u == 1u);
+
+// The protocol version a build with a different payload-layout revision
+// would present: unmix our layout from the hash, mix theirs back in.
+constexpr std::uint32_t versionWithLayout(std::uint32_t layout) {
+  const std::uint32_t tagsHash =
+      (wire::protocolVersion() * fnvPrimeInverse()) ^
+      wire::kPayloadLayoutVersion;
+  return (tagsHash ^ layout) * 16777619u;
+}
+static_assert(versionWithLayout(wire::kPayloadLayoutVersion) ==
+              wire::protocolVersion());
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+}  // namespace
+
+TEST(Wire, PreProfileBuildIsRefusedAtHandshake) {
+  // This PR moved the GatherMsg/MetricsSnapshot layouts to revision 3; a
+  // revision-2 binary (same tag table) must be fenced off at connect time.
+  EXPECT_EQ(wire::kPayloadLayoutVersion, 3u);
+  ASSERT_NE(versionWithLayout(2), wire::protocolVersion());
+
+  SocketPair sp;
+  wire::Handshake h;
+  h.version = versionWithLayout(2);
+  h.world = 2;
+  const auto bytes = h.encode();
+  ASSERT_EQ(::send(sp.a, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  try {
+    readHandshake(sp.b, /*expectWorld=*/2, 1000ms);
+    FAIL() << "expected a version-mismatch TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_NE(std::string(e.what()).find("version mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
